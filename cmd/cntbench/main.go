@@ -1,0 +1,121 @@
+// Command cntbench reproduces Table I of the paper: average CPU time
+// to compute the standard family of drain-current characteristics
+// (seven gate voltages, VDS swept 0..0.6 V) with the FETToy-style
+// reference model versus the piecewise Models 1 and 2, invoked in
+// loops of 5, 10, 50 and 100 repetitions.
+//
+// Absolute times are hardware-dependent (the paper used MATLAB on a
+// Pentium IV); the reproducible quantities are the *ratios* — the
+// paper reports Model 1 ≈ 3400× and Model 2 ≈ 1100× faster — and the
+// linear scaling of time with loop count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cntfet"
+	"cntfet/internal/report"
+	"cntfet/internal/sweep"
+)
+
+func main() {
+	loops := flag.String("loops", "5,10,50,100", "comma-separated loop counts")
+	points := flag.Int("points", 61, "VDS points per curve")
+	flag.Parse()
+
+	counts, err := parseInts(*loops)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cntbench:", err)
+		os.Exit(1)
+	}
+	if err := run(counts, *points); err != nil {
+		fmt.Fprintln(os.Stderr, "cntbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	var v int
+	for len(s) > 0 {
+		n, err := fmt.Sscanf(s, "%d", &v)
+		if n != 1 || err != nil {
+			return nil, fmt.Errorf("bad loop list %q", s)
+		}
+		out = append(out, v)
+		for len(s) > 0 && s[0] != ',' {
+			s = s[1:]
+		}
+		if len(s) > 0 {
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+func run(counts []int, points int) error {
+	dev := cntfet.DefaultDevice()
+	ref, err := cntfet.NewReference(dev)
+	if err != nil {
+		return err
+	}
+	m1, err := cntfet.FitFrom(ref, cntfet.Model1Spec(), cntfet.FitOptions{})
+	if err != nil {
+		return err
+	}
+	m2, err := cntfet.FitFrom(ref, cntfet.Model2Spec(), cntfet.FitOptions{})
+	if err != nil {
+		return err
+	}
+	vgs := sweep.PaperGates()
+	vds := make([]float64, points)
+	for i := range vds {
+		vds[i] = 0.6 * float64(i) / float64(points-1)
+	}
+
+	family := func(m cntfet.Transistor) error {
+		_, err := cntfet.Family(m, vgs, vds)
+		return err
+	}
+	timeLoops := func(m cntfet.Transistor, n int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := family(m); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	tb := report.NewTable(
+		"Table I: average CPU time, family of IDS characteristics (7 gates x 61 VDS points)",
+		"Loops", "FETToy(ref)", "Model 1", "Model 2", "speedup M1", "speedup M2")
+	for _, n := range counts {
+		tRef, err := timeLoops(ref, n)
+		if err != nil {
+			return err
+		}
+		t1, err := timeLoops(m1, n)
+		if err != nil {
+			return err
+		}
+		t2, err := timeLoops(m2, n)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4gs", tRef.Seconds()),
+			fmt.Sprintf("%.4gs", t1.Seconds()),
+			fmt.Sprintf("%.4gs", t2.Seconds()),
+			fmt.Sprintf("%.0fx", tRef.Seconds()/t1.Seconds()),
+			fmt.Sprintf("%.0fx", tRef.Seconds()/t2.Seconds()),
+		)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("\npaper reference: FETToy 64.4s..1287s; Model 1 ~3400x faster; Model 2 ~1100x faster")
+	return nil
+}

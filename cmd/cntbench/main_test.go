@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("5,10,50")
+	if err != nil || len(got) != 3 || got[2] != 50 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts("x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRunSingleLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := run([]int{1}, 13)
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "speedup") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

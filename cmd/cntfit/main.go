@@ -1,0 +1,95 @@
+// Command cntfit fits the paper's piecewise charge models and prints
+// the region structure, polynomial coefficients and charge curves —
+// the data behind figures 2-5.
+//
+//	cntfit -model 1              figure 2 (three-piece QS regions)
+//	cntfit -model 2              figure 3 (four-piece QS regions)
+//	cntfit -model 1 -compare     figure 4 (QS, QD theory vs approx)
+//	cntfit -model 2 -compare     figure 5
+//	cntfit -model 2 -optimize    re-derive boundaries numerically
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cntfet"
+	"cntfet/internal/report"
+	"cntfet/internal/units"
+)
+
+func main() {
+	modelNo := flag.Int("model", 1, "piecewise model (1 or 2)")
+	compare := flag.Bool("compare", false, "print theory vs approximation for QS and QD (figures 4/5)")
+	optimize := flag.Bool("optimize", false, "re-optimise the region boundaries numerically")
+	temp := flag.Float64("t", 300, "temperature [K]")
+	ef := flag.Float64("ef", -0.32, "Fermi level [eV]")
+	vds := flag.Float64("vds", 0.2, "drain bias for the QD curve in -compare mode [V]")
+	points := flag.Int("points", 41, "output samples across the VSC window")
+	flag.Parse()
+
+	if err := run(*modelNo, *compare, *optimize, *temp, *ef, *vds, *points); err != nil {
+		fmt.Fprintln(os.Stderr, "cntfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelNo int, compare, optimize bool, temp, ef, vds float64, points int) error {
+	dev := cntfet.DefaultDevice()
+	dev.T = temp
+	dev.EF = ef
+	ref, err := cntfet.NewReference(dev)
+	if err != nil {
+		return err
+	}
+	spec := cntfet.Model1Spec()
+	if modelNo == 2 {
+		spec = cntfet.Model2Spec()
+	}
+	m, err := cntfet.FitFrom(ref, spec, cntfet.FitOptions{OptimizeBreaks: optimize})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s  (T=%gK, EF=%geV, d=%gnm)\n", spec.Name, temp, ef, dev.Diameter*1e9)
+	fmt.Println("regions (u = VSC - EF/q):")
+	for _, r := range m.Spec().Regions() {
+		fmt.Println("  " + r)
+	}
+	fmt.Printf("fitted breaks (u-space): %v\n", m.BreaksU())
+	pw := m.PiecewiseU()
+	for i, p := range pw.Pieces {
+		fmt.Printf("piece %d: Q(u) = %s  [C/m]\n", i, p)
+	}
+	q := cntfet.Quality(ref, m, cntfet.FitOptions{})
+	fmt.Printf("fit quality: rms %.3g C/m (%.2f%% of mean |Q|), continuity c0=%.2g c1=%.2g\n",
+		q.RMS, 100*q.RMSRel, q.C0, q.C1)
+
+	// Charge curve table (figure 2/3 series; with -compare also the
+	// theory and drain curves of figures 4/5).
+	lo := m.BreaksU()[0] - 0.25
+	hi := m.BreaksU()[len(m.BreaksU())-1] + 0.1
+	us := units.Linspace(lo, hi, points)
+	vscs := make([]float64, len(us))
+	qsFit := make([]float64, len(us))
+	for i, u := range us {
+		vscs[i] = u + dev.EF
+		qsFit[i] = m.QS(vscs[i])
+	}
+	headers := []string{"vsc", "qs_model"}
+	cols := [][]float64{vscs, qsFit}
+	if compare {
+		qsTheory := make([]float64, len(us))
+		qdTheory := make([]float64, len(us))
+		qdFit := make([]float64, len(us))
+		for i, v := range vscs {
+			qsTheory[i] = ref.QS(v)
+			qdTheory[i] = ref.QD(v, vds)
+			qdFit[i] = m.QD(v, vds)
+		}
+		headers = append(headers, "qs_theory", "qd_model", "qd_theory")
+		cols = append(cols, qsTheory, qdFit, qdTheory)
+	}
+	return report.WriteCSV(os.Stdout, headers, cols...)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return out
+}
+
+func TestRunModel1Regions(t *testing.T) {
+	out := capture(t, func() error { return run(1, false, false, 300, -0.32, 0.2, 11) })
+	for _, want := range []string{"Model 1", "linear on", "quadratic on", "zero on", "fit quality", "vsc,qs_model"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunModel2Compare(t *testing.T) {
+	out := capture(t, func() error { return run(2, true, false, 300, -0.32, 0.2, 11) })
+	if !strings.Contains(out, "qd_theory") || !strings.Contains(out, "3rd order") {
+		t.Fatalf("compare columns missing:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return out
+}
+
+func TestRunFigure7(t *testing.T) {
+	out := capture(t, func() error { return run(7, 300, -0.32, "", 2, 13, false) })
+	if !strings.Contains(out, "figure 7") || !strings.Contains(out, "rms error") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "theory_vg0.60") {
+		t.Fatalf("CSV headers missing:\n%s", out)
+	}
+}
+
+func TestRunCustomSweep(t *testing.T) {
+	out := capture(t, func() error { return run(0, 300, -0.32, "0.4,0.6", 1, 7, true) })
+	if !strings.Contains(out, "custom sweep") || !strings.Contains(out, "legend") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(99, 300, -0.32, "", 2, 13, false); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run(0, 300, -0.32, "abc", 2, 13, false); err == nil {
+		t.Fatal("bad gate list accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallStudy(t *testing.T) {
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := run(200, 0.02, 0, 0.5, 0.4, 1, 8)
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IDS [A] (200 samples)", "mean", "p5 / p50 / p95", "linearised check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadCounts(t *testing.T) {
+	if err := run(0, 0.02, 0, 0.5, 0.4, 1, 8); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return out
+}
+
+func TestAccuracyTableStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is not short")
+	}
+	out := capture(t, func() error {
+		return accuracyTable(-0.32, "Table II: test run", false)
+	})
+	if !strings.Contains(out, "Table II") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	for _, col := range []string{"150K M1", "300K M2", "450K M2"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("column %q missing:\n%s", col, out)
+		}
+	}
+	// Six gate-voltage rows.
+	if rows := strings.Count(out, "%"); rows < 36 {
+		t.Fatalf("only %d percent cells:\n%s", rows, out)
+	}
+}
+
+func TestExperimentTableStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is not short")
+	}
+	out := capture(t, func() error { return experimentTable(true) })
+	if !strings.Contains(out, "Table V") || !strings.Contains(out, "FETToy") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "synthetic stand-in") {
+		t.Fatal("substitution note missing")
+	}
+}

@@ -1,0 +1,47 @@
+// Command cntspice runs a SPICE-flavoured netlist through the MNA
+// circuit simulator with CNT transistor devices.
+//
+//	cntspice deck.cir        run all analyses in the deck
+//	cntspice -               read the deck from stdin
+//
+// See internal/netlist for the supported dialect; examples/inverter
+// contains a ready-made complementary CNT inverter deck.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cntfet/internal/netlist"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cntspice <deck.cir|->")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if os.Args[1] == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cntspice:", err)
+		os.Exit(1)
+	}
+	deck, err := netlist.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cntspice:", err)
+		os.Exit(1)
+	}
+	if deck.Title != "" {
+		fmt.Println("*", deck.Title)
+	}
+	if err := deck.Run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cntspice:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The cntspice binary is a thin shell around netlist.Parse + Run, so
+// the test exercises it end to end as a subprocess against a shipped
+// deck.
+func TestCLIAgainstShippedDeck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("posix-only test harness")
+	}
+	bin := filepath.Join(t.TempDir(), "cntspice")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	deck := filepath.Join("..", "..", "decks", "commonsource.cir")
+	if _, err := os.Stat(deck); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, deck).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "Operating point") || !strings.Contains(s, "DC sweep of VIN") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestCLIStdinAndErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("posix-only test harness")
+	}
+	bin := filepath.Join(t.TempDir(), "cntspice")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader("divider\nV1 a 0 2\nR1 a b 1k\nR2 b 0 1k\n.op\n.print v(b)\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("stdin run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1") {
+		t.Fatalf("divider output:\n%s", out)
+	}
+	// Bad deck: nonzero exit.
+	cmd = exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader("t\nR1 x\n.op\n")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("bad deck exited zero")
+	}
+	// Missing file: nonzero exit.
+	if err := exec.Command(bin, "/definitely/not/here.cir").Run(); err == nil {
+		t.Fatal("missing file exited zero")
+	}
+}

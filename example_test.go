@@ -1,0 +1,68 @@
+package cntfet_test
+
+import (
+	"fmt"
+
+	"cntfet"
+)
+
+// The basic flow: fit the paper's Model 2 once, then evaluate drain
+// currents in closed form.
+func ExampleNewModel2() {
+	fast, err := cntfet.NewModel2(cntfet.DefaultDevice())
+	if err != nil {
+		panic(err)
+	}
+	ids, err := fast.IDS(cntfet.Bias{VG: 0.6, VD: 0.6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("IDS is tens of µA: %v\n", ids > 1e-6 && ids < 1e-4)
+	// Output: IDS is tens of µA: true
+}
+
+// Comparing the fast model against the full theory with the paper's
+// RMS metric.
+func ExampleRMSPercent() {
+	dev := cntfet.DefaultDevice()
+	theory, err := cntfet.NewReference(dev)
+	if err != nil {
+		panic(err)
+	}
+	fast, err := cntfet.FitFrom(theory, cntfet.Model2Spec(), cntfet.FitOptions{})
+	if err != nil {
+		panic(err)
+	}
+	vds := []float64{0, 0.15, 0.3, 0.45, 0.6}
+	ref, err := cntfet.Trace(theory, 0.5, vds)
+	if err != nil {
+		panic(err)
+	}
+	approx, err := cntfet.Trace(fast, 0.5, vds)
+	if err != nil {
+		panic(err)
+	}
+	rms, err := cntfet.RMSPercent(approx, ref)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within the paper's 2%% band: %v\n", rms < 2)
+	// Output: within the paper's 2% band: true
+}
+
+// Custom region structures let you trade fit cost for accuracy (the
+// paper's "more sections" extension).
+func ExampleNewPiecewise() {
+	spec := cntfet.Spec{
+		Name:     "five regions",
+		Breaks:   []float64{-0.35, -0.15, -0.02, 0.12},
+		Degrees:  []int{1, 2, 3, 3},
+		ZeroTail: true,
+	}
+	m, err := cntfet.NewPiecewise(cntfet.DefaultDevice(), spec, cntfet.FitOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Spec().Name)
+	// Output: five regions
+}

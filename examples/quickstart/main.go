@@ -1,0 +1,65 @@
+// Quickstart: build the paper's device, fit the fast Model 2, and
+// compare one operating point against the full theory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cntfet"
+)
+
+func main() {
+	dev := cntfet.DefaultDevice() // 1 nm tube, ZrO2 gate, EF=-0.32 eV, 300 K
+
+	// The slow path: full ballistic theory (numerical Fermi-Dirac
+	// integration + Newton-Raphson), as implemented by FETToy.
+	theory, err := cntfet.NewReference(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The fast path: the paper's Model 2. Fitting samples the theory
+	// once; afterwards every evaluation is closed-form.
+	fast, err := cntfet.NewModel2(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bias := cntfet.Bias{VG: 0.6, VD: 0.6}
+
+	t0 := time.Now()
+	opTheory, err := theory.Solve(bias)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tTheory := time.Since(t0)
+
+	t0 = time.Now()
+	opFast, err := fast.Solve(bias)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFast := time.Since(t0)
+
+	fmt.Printf("device: d=%.1fnm tox=%.1fnm kappa=%g EF=%geV T=%gK\n",
+		dev.Diameter*1e9, dev.Tox*1e9, dev.Kappa, dev.EF, dev.T)
+	fmt.Printf("bias: VG=%gV VDS=%gV\n\n", bias.VG, bias.VD)
+	fmt.Printf("%-22s %-14s %-14s\n", "", "theory(FETToy)", "Model 2")
+	fmt.Printf("%-22s %-14.4g %-14.4g\n", "IDS [A]", opTheory.IDS, opFast.IDS)
+	fmt.Printf("%-22s %-14.4g %-14.4g\n", "VSC [V]", opTheory.VSC, opFast.VSC)
+	fmt.Printf("%-22s %-14.4g %-14.4g\n", "QS [C/m]", opTheory.QS, opFast.QS)
+	fmt.Printf("%-22s %-14v %-14v\n", "solve time", tTheory, tFast)
+	fmt.Printf("\ncurrent deviation: %.2f%%\n",
+		100*abs(opFast.IDS-opTheory.IDS)/opTheory.IDS)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

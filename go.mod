@@ -1,0 +1,3 @@
+module cntfet
+
+go 1.24

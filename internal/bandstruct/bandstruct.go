@@ -1,0 +1,190 @@
+// Package bandstruct models the electronic structure of single-walled
+// carbon nanotubes at the level the ballistic transport theory needs:
+// chirality-derived geometry, the subband ladder of conduction-band
+// minima, the non-parabolic band approximation and its analytic density
+// of states, plus the electrostatic gate capacitances that close the
+// self-consistent voltage equation.
+//
+// Energies in this package are in electron-volts; lengths in metres;
+// the density of states is per eV per metre of tube (spin and valley
+// degeneracy included).
+package bandstruct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cntfet/internal/units"
+)
+
+// Chirality identifies a nanotube by its wrapping indices (n, m).
+type Chirality struct {
+	N, M int
+}
+
+// Valid reports whether the indices describe a real tube
+// (n >= m >= 0, n > 0).
+func (c Chirality) Valid() bool { return c.N > 0 && c.M >= 0 && c.M <= c.N }
+
+// Diameter returns the tube diameter in metres:
+// d = a·sqrt(n² + nm + m²)/π with a the graphene lattice constant.
+func (c Chirality) Diameter() float64 {
+	n, m := float64(c.N), float64(c.M)
+	return units.ALattice * math.Sqrt(n*n+n*m+m*m) / math.Pi
+}
+
+// IsMetallic reports whether the tube is metallic ((n-m) divisible
+// by 3); the ballistic FET theory applies to semiconducting tubes.
+func (c Chirality) IsMetallic() bool { return (c.N-c.M)%3 == 0 }
+
+// ChiralAngle returns the chiral angle in radians (0 for zigzag,
+// π/6 for armchair).
+func (c Chirality) ChiralAngle() float64 {
+	n, m := float64(c.N), float64(c.M)
+	return math.Atan2(math.Sqrt(3)*m, 2*n+m)
+}
+
+// String renders the conventional (n,m) notation.
+func (c Chirality) String() string { return fmt.Sprintf("(%d,%d)", c.N, c.M) }
+
+// HalfGap returns the first conduction-subband minimum E1 (half the band
+// gap) in eV for a semiconducting tube of diameter d (metres):
+// E1 = a_cc·γ/d, the ħ·vF·Δk⊥ of the allowed line nearest the K point.
+func HalfGap(d float64) float64 {
+	if d <= 0 {
+		panic("bandstruct: non-positive diameter")
+	}
+	return units.ACC * units.Gamma / d
+}
+
+// Subband is one conduction-band minimum of the tube.
+type Subband struct {
+	// EMin is the minimum energy in eV measured from mid-gap.
+	EMin float64
+	// Degeneracy counts coincident bands (valley degeneracy gives 2
+	// for generic subbands).
+	Degeneracy int
+}
+
+// Ladder returns the lowest `count` conduction subbands of a
+// semiconducting tube of diameter d, using the zone-folding selection
+// rule: allowed transverse lines sit at multiples of 2/(3d) from the K
+// point with indices m ≢ 0 (mod 3), giving minima E1·{1, 2, 4, 5, 7, …},
+// each doubly valley-degenerate.
+func Ladder(d float64, count int) []Subband {
+	e1 := HalfGap(d)
+	out := make([]Subband, 0, count)
+	for m := 1; len(out) < count; m++ {
+		if m%3 == 0 {
+			continue
+		}
+		out = append(out, Subband{EMin: e1 * float64(m), Degeneracy: 2})
+	}
+	return out
+}
+
+// D0 returns the asymptotic 1-D density of states
+// 8/(3π·a_cc·γ) ≈ 2.0e9 states/(eV·m), per doubly-degenerate subband,
+// spin included. Each subband's DOS tends to Degeneracy/2 · D0 · E/sqrt(E²-Ep²).
+func D0() float64 { return 8 / (3 * math.Pi * units.ACC * units.Gamma) }
+
+// DOS returns the total density of states at energy E (eV from
+// mid-gap) summed over the given subbands, in states/(eV·m). It is the
+// non-parabolic-band analytic form with the van Hove divergence at each
+// EMin; callers integrating across an edge should use
+// quad.SqrtSingularUpper. Below the first subband it returns 0.
+func DOS(e float64, bands []Subband) float64 {
+	if e < 0 {
+		e = -e // electron-hole symmetric in this approximation
+	}
+	s := 0.0
+	for _, b := range bands {
+		if e <= b.EMin {
+			continue
+		}
+		s += float64(b.Degeneracy) / 2 * D0() * e / math.Sqrt(e*e-b.EMin*b.EMin)
+	}
+	return s
+}
+
+// StatesBelow returns the integrated density of states from the band
+// edge up to energy E (eV from mid-gap) for the given subbands, in
+// states/m: ∫ D = Σ D0·(deg/2)·sqrt(E²-Ep²). Closed form because the
+// integrand is d/dE sqrt(E²-Ep²); used to validate the quadrature path.
+func StatesBelow(e float64, bands []Subband) float64 {
+	if e < 0 {
+		return 0
+	}
+	s := 0.0
+	for _, b := range bands {
+		if e <= b.EMin {
+			continue
+		}
+		s += float64(b.Degeneracy) / 2 * D0() * math.Sqrt(e*e-b.EMin*b.EMin)
+	}
+	return s
+}
+
+// ZigzagDispersion returns the zone-folded tight-binding energy (eV,
+// conduction branch) of subband p (1..n) at axial wavevector k (1/m)
+// for an (n,0) zigzag tube:
+//
+//	E(k) = γ·sqrt(1 + 4·cos(πp/n)·cos(k·a/2) + 4·cos²(πp/n))
+//
+// with a the lattice constant. Used in tests to confirm the
+// non-parabolic approximation and the Ladder minima.
+func ZigzagDispersion(n, p int, k float64) float64 {
+	if n <= 0 || p < 1 || p > n {
+		panic("bandstruct: bad zigzag indices")
+	}
+	c := math.Cos(math.Pi * float64(p) / float64(n))
+	x := math.Cos(k * units.ALattice / 2)
+	return units.Gamma * math.Sqrt(1+4*c*x+4*c*c)
+}
+
+// ZigzagMinima returns the distinct conduction-subband minima (eV,
+// ascending) of an (n,0) tube from exact zone folding at k = 0:
+// E_p(0) = γ·|1 + 2·cos(πp/n)|.
+func ZigzagMinima(n int) []float64 {
+	if n <= 0 {
+		panic("bandstruct: bad zigzag index")
+	}
+	set := make([]float64, 0, n)
+	for p := 1; p <= n; p++ {
+		e := units.Gamma * math.Abs(1+2*math.Cos(math.Pi*float64(p)/float64(n)))
+		set = append(set, e)
+	}
+	sort.Float64s(set)
+	// Merge near-duplicates (valley degeneracy).
+	out := set[:0]
+	for _, e := range set {
+		if len(out) == 0 || e-out[len(out)-1] > 1e-9 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CoaxialGateCapacitance returns the insulator capacitance per unit
+// length (F/m) of a wrap-around gate of oxide thickness tox and
+// relative permittivity kappa around a tube of diameter d:
+// C = 2πκε0 / ln((2·tox + d)/d). This is FETToy's geometry.
+func CoaxialGateCapacitance(d, tox, kappa float64) float64 {
+	if d <= 0 || tox <= 0 || kappa <= 0 {
+		panic("bandstruct: non-positive capacitance parameter")
+	}
+	return 2 * math.Pi * kappa * units.Eps0 / math.Log((2*tox+d)/d)
+}
+
+// PlanarGateCapacitance returns the capacitance per unit length (F/m)
+// of a tube of diameter d suspended tox above a conducting plane in a
+// dielectric of relative permittivity kappa:
+// C = 2πκε0 / acosh((2·tox + d)/d). This is the back-gated geometry of
+// the Javey 2005 experimental device the paper compares against.
+func PlanarGateCapacitance(d, tox, kappa float64) float64 {
+	if d <= 0 || tox <= 0 || kappa <= 0 {
+		panic("bandstruct: non-positive capacitance parameter")
+	}
+	return 2 * math.Pi * kappa * units.Eps0 / math.Acosh((2*tox+d)/d)
+}

@@ -1,0 +1,203 @@
+package bandstruct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cntfet/internal/quad"
+	"cntfet/internal/units"
+)
+
+func TestChiralityGeometry(t *testing.T) {
+	// (10,10) armchair: d = 0.246*sqrt(300)/π nm ≈ 1.356 nm.
+	c := Chirality{10, 10}
+	if !c.Valid() || !c.IsMetallic() {
+		t.Fatal("armchair should be valid and metallic")
+	}
+	if d := c.Diameter(); !units.CloseRel(d, 1.356e-9, 0.01) {
+		t.Fatalf("d(10,10) = %g", d)
+	}
+	if a := c.ChiralAngle(); !units.CloseRel(a, math.Pi/6, 1e-9) {
+		t.Fatalf("armchair chiral angle = %g", a)
+	}
+	z := Chirality{17, 0}
+	if z.IsMetallic() {
+		t.Fatal("(17,0) is semiconducting")
+	}
+	if a := z.ChiralAngle(); a != 0 {
+		t.Fatalf("zigzag angle = %g", a)
+	}
+	if (Chirality{0, 0}).Valid() || (Chirality{3, 5}).Valid() {
+		t.Fatal("invalid chirality accepted")
+	}
+	if s := z.String(); s != "(17,0)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestHalfGapScalesInversely(t *testing.T) {
+	// E1 = a_cc*γ/d: for d = 1 nm, E1 = 0.142*3 = 0.426 eV.
+	if e := HalfGap(1e-9); !units.CloseRel(e, 0.426, 1e-6) {
+		t.Fatalf("E1(1nm) = %g", e)
+	}
+	if e := HalfGap(2e-9); !units.CloseRel(e, 0.213, 1e-6) {
+		t.Fatalf("E1(2nm) = %g", e)
+	}
+}
+
+func TestLadderSelectionRule(t *testing.T) {
+	d := 1.4e-9
+	e1 := HalfGap(d)
+	l := Ladder(d, 5)
+	wantMult := []float64{1, 2, 4, 5, 7}
+	for i, b := range l {
+		if !units.CloseRel(b.EMin, e1*wantMult[i], 1e-12) {
+			t.Fatalf("subband %d at %g, want %g", i, b.EMin, e1*wantMult[i])
+		}
+		if b.Degeneracy != 2 {
+			t.Fatalf("subband %d degeneracy %d", i, b.Degeneracy)
+		}
+	}
+}
+
+func TestZigzagMinimaMatchLadderForFirstSubbands(t *testing.T) {
+	// (17,0): d = 17*0.246/π nm = 1.331 nm. Exact TB minima should be
+	// close to the linear-ladder values for the first couple of
+	// subbands (the ladder is the k·p limit, so allow a few percent).
+	n := 17
+	d := (Chirality{n, 0}).Diameter()
+	exact := ZigzagMinima(n)
+	approx := Ladder(d, 2)
+	for i := 0; i < 2; i++ {
+		rel := math.Abs(exact[i]-approx[i].EMin) / exact[i]
+		if rel > 0.06 {
+			t.Fatalf("subband %d: exact %g vs ladder %g (rel %g)", i, exact[i], approx[i].EMin, rel)
+		}
+	}
+}
+
+func TestZigzagDispersionMinimumAtZoneCentre(t *testing.T) {
+	n, p := 17, 11 // a low-lying subband of (17,0)
+	e0 := ZigzagDispersion(n, p, 0)
+	for _, k := range []float64{1e8, 5e8, 1e9} {
+		if ZigzagDispersion(n, p, k) < e0-1e-12 {
+			t.Fatalf("dispersion dips below k=0 value at k=%g", k)
+		}
+	}
+}
+
+func TestZigzagDispersionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZigzagDispersion(10, 0, 0)
+}
+
+func TestDOSBelowGapIsZero(t *testing.T) {
+	bands := Ladder(1.4e-9, 3)
+	if v := DOS(bands[0].EMin*0.99, bands); v != 0 {
+		t.Fatalf("DOS inside the gap = %g", v)
+	}
+}
+
+func TestDOSAsymptoteApproachesLadderD0(t *testing.T) {
+	bands := Ladder(1.4e-9, 1)
+	e := bands[0].EMin * 50
+	want := D0() // one doubly-degenerate subband → 2/2 · D0
+	if got := DOS(e, bands); math.Abs(got-want)/want > 1e-3 {
+		t.Fatalf("asymptotic DOS %g want %g", got, want)
+	}
+}
+
+func TestDOSElectronHoleSymmetry(t *testing.T) {
+	bands := Ladder(1.4e-9, 2)
+	e := bands[0].EMin * 1.7
+	if DOS(e, bands) != DOS(-e, bands) {
+		t.Fatal("DOS should be symmetric in this approximation")
+	}
+}
+
+func TestStatesBelowMatchesQuadrature(t *testing.T) {
+	bands := Ladder(1.4e-9, 2)
+	e1 := bands[0].EMin
+	upper := e1 * 3 // above the second subband (2·e1)
+	// Integrate the DOS across both van Hove edges with the
+	// singularity-removing substitution per edge.
+	total := 0.0
+	for _, b := range bands {
+		if upper <= b.EMin {
+			continue
+		}
+		f := func(x float64) float64 {
+			// DOS piece = c·x/sqrt(x²-Ep²) = [c·x/sqrt(x+Ep)] / sqrt(x-Ep)
+			c := float64(b.Degeneracy) / 2 * D0()
+			return c * x / math.Sqrt(x+b.EMin)
+		}
+		// The integrand scale is D0 ~ 2e9 /(eV·m); the tolerance must
+		// be absolute on that scale.
+		v, err := quad.SqrtSingularUpper(f, b.EMin, upper, 1e-6*D0())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v
+	}
+	want := StatesBelow(upper, bands)
+	if math.Abs(total-want)/want > 1e-8 {
+		t.Fatalf("quadrature %g vs closed form %g", total, want)
+	}
+}
+
+func TestGateCapacitanceFormulas(t *testing.T) {
+	d, tox, kappa := 1.6e-9, 50e-9, 3.9
+	cp := PlanarGateCapacitance(d, tox, kappa)
+	cc := CoaxialGateCapacitance(d, tox, kappa)
+	// Planar: 2π·3.9·ε0/acosh(101.6/1.6) ≈ 4.5e-11 F/m.
+	if cp < 3e-11 || cp > 6e-11 {
+		t.Fatalf("planar C = %g F/m", cp)
+	}
+	// Coaxial encloses more flux than planar for the same geometry.
+	if cc <= cp {
+		t.Fatalf("coaxial %g should exceed planar %g", cc, cp)
+	}
+}
+
+func TestCapacitancePanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { CoaxialGateCapacitance(0, 1e-9, 3.9) },
+		func() { PlanarGateCapacitance(1e-9, 0, 3.9) },
+		func() { HalfGap(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the DOS is non-negative and StatesBelow is non-decreasing.
+func TestStatesBelowMonotoneProperty(t *testing.T) {
+	bands := Ladder(1.6e-9, 3)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Abs(a), math.Abs(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 100 { // eV — far beyond physical range
+			return true
+		}
+		return StatesBelow(hi, bands) >= StatesBelow(lo, bands) && DOS(hi, bands) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

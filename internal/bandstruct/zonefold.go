@@ -1,0 +1,165 @@
+package bandstruct
+
+import (
+	"math"
+	"sort"
+
+	"cntfet/internal/units"
+)
+
+// This file implements zone folding of the graphene π-band for a tube
+// of arbitrary chirality (Saito/Dresselhaus conventions), generalising
+// the zigzag-only helpers: the allowed states of an (n, m) tube are
+// cuts of the 2-D graphene dispersion along lines
+// k = μ·K1 + k∥·K2/|K2|, one line per subband index μ.
+
+// Graphene lattice vectors a1, a2 (metres) and reciprocal vectors
+// b1, b2 (1/m) in the standard orientation.
+func grapheneVectors() (a1, a2, b1, b2 [2]float64) {
+	a := units.ALattice
+	a1 = [2]float64{a * math.Sqrt(3) / 2, a / 2}
+	a2 = [2]float64{a * math.Sqrt(3) / 2, -a / 2}
+	b1 = [2]float64{2 * math.Pi / (a * math.Sqrt(3)), 2 * math.Pi / a}
+	b2 = [2]float64{2 * math.Pi / (a * math.Sqrt(3)), -2 * math.Pi / a}
+	return
+}
+
+// GrapheneEnergy returns the π-band tight-binding energy (eV,
+// conduction branch) at 2-D wavevector (kx, ky) in 1/m:
+// E = γ·sqrt(1 + 4·cos(√3·kx·a/2)·cos(ky·a/2) + 4·cos²(ky·a/2)).
+func GrapheneEnergy(kx, ky float64) float64 {
+	a := units.ALattice
+	c := math.Cos(ky * a / 2)
+	inner := 1 + 4*math.Cos(math.Sqrt(3)*kx*a/2)*c + 4*c*c
+	if inner < 0 {
+		inner = 0 // rounding at the Dirac point
+	}
+	return units.Gamma * math.Sqrt(inner)
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TranslationIndices returns the (t1, t2) integer components of the
+// translation vector T = t1·a1 + t2·a2 along the tube axis.
+func (c Chirality) TranslationIndices() (t1, t2 int) {
+	dr := gcd(2*c.N+c.M, 2*c.M+c.N)
+	return (2*c.M + c.N) / dr, -(2*c.N + c.M) / dr
+}
+
+// NumHexagons returns the number of graphene hexagons in the tube unit
+// cell, which is also the number of distinct subband cutting lines.
+func (c Chirality) NumHexagons() int {
+	dr := gcd(2*c.N+c.M, 2*c.M+c.N)
+	return 2 * (c.N*c.N + c.N*c.M + c.M*c.M) / dr
+}
+
+// TranslationLength returns |T| in metres (the 1-D unit-cell length).
+func (c Chirality) TranslationLength() float64 {
+	t1, t2 := c.TranslationIndices()
+	a1, a2, _, _ := grapheneVectors()
+	tx := float64(t1)*a1[0] + float64(t2)*a2[0]
+	ty := float64(t1)*a1[1] + float64(t2)*a2[1]
+	return math.Hypot(tx, ty)
+}
+
+// Dispersion returns the conduction-band energy (eV) of subband mu
+// (0 <= mu < NumHexagons) at axial wavevector k (1/m, Brillouin zone
+// |k| <= π/|T|) for an arbitrary chirality, by cutting the graphene
+// dispersion along the tube's allowed line.
+func (c Chirality) Dispersion(mu int, k float64) float64 {
+	if !c.Valid() {
+		panic("bandstruct: invalid chirality")
+	}
+	nHex := c.NumHexagons()
+	if mu < 0 || mu >= nHex {
+		panic("bandstruct: subband index out of range")
+	}
+	t1, t2 := c.TranslationIndices()
+	_, _, b1, b2 := grapheneVectors()
+	nf := float64(nHex)
+	// K1 = (-t2·b1 + t1·b2)/N, K2 = (m·b1 - n·b2)/N.
+	k1 := [2]float64{
+		(-float64(t2)*b1[0] + float64(t1)*b2[0]) / nf,
+		(-float64(t2)*b1[1] + float64(t1)*b2[1]) / nf,
+	}
+	k2 := [2]float64{
+		(float64(c.M)*b1[0] - float64(c.N)*b2[0]) / nf,
+		(float64(c.M)*b1[1] - float64(c.N)*b2[1]) / nf,
+	}
+	k2len := math.Hypot(k2[0], k2[1])
+	kx := float64(mu)*k1[0] + k*k2[0]/k2len
+	ky := float64(mu)*k1[1] + k*k2[1]/k2len
+	return GrapheneEnergy(kx, ky)
+}
+
+// SubbandMinimaGeneral returns the lowest `count` distinct conduction
+// subband minima (eV, ascending) of an arbitrary-chirality tube, found
+// by scanning each cutting line over the 1-D Brillouin zone and
+// refining the minimum by golden-section-style bisection of the grid
+// neighbourhood.
+func (c Chirality) SubbandMinimaGeneral(count int) []float64 {
+	nHex := c.NumHexagons()
+	kMax := math.Pi / c.TranslationLength()
+	const grid = 400
+	minima := make([]float64, 0, nHex)
+	for mu := 0; mu < nHex; mu++ {
+		best := math.Inf(1)
+		bestK := 0.0
+		for i := 0; i <= grid; i++ {
+			k := -kMax + 2*kMax*float64(i)/grid
+			if e := c.Dispersion(mu, k); e < best {
+				best, bestK = e, k
+			}
+		}
+		// Local refinement by ternary search around the grid minimum.
+		lo := math.Max(bestK-2*kMax/grid, -kMax)
+		hi := math.Min(bestK+2*kMax/grid, kMax)
+		for it := 0; it < 60; it++ {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			if c.Dispersion(mu, m1) < c.Dispersion(mu, m2) {
+				hi = m2
+			} else {
+				lo = m1
+			}
+		}
+		minima = append(minima, c.Dispersion(mu, 0.5*(lo+hi)))
+	}
+	sort.Float64s(minima)
+	// Merge degenerate lines.
+	out := minima[:0]
+	for _, e := range minima {
+		if len(out) == 0 || e-out[len(out)-1] > 1e-6 {
+			out = append(out, e)
+		}
+	}
+	if count > 0 && count < len(out) {
+		out = out[:count]
+	}
+	return append([]float64(nil), out...)
+}
+
+// BandGapGeneral returns the tube band gap in eV from exact zone
+// folding (0 for metallic tubes, up to grid resolution).
+func (c Chirality) BandGapGeneral() float64 {
+	minima := c.SubbandMinimaGeneral(1)
+	if len(minima) == 0 {
+		return 0
+	}
+	gap := 2 * minima[0]
+	if gap < 1e-6 {
+		return 0
+	}
+	return gap
+}

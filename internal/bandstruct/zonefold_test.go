@@ -1,0 +1,139 @@
+package bandstruct
+
+import (
+	"math"
+	"testing"
+
+	"cntfet/internal/units"
+)
+
+func TestGrapheneEnergyDiracPoint(t *testing.T) {
+	// The K point (4π/(3a), 0)... in this orientation the Dirac point
+	// sits at kx = 2π/(√3·a), ky = 2π/(3a): energy must vanish.
+	a := units.ALattice
+	kx := 2 * math.Pi / (math.Sqrt(3) * a)
+	ky := 2 * math.Pi / (3 * a)
+	if e := GrapheneEnergy(kx, ky); e > 1e-9 {
+		t.Fatalf("Dirac point energy %g", e)
+	}
+	// The Γ point carries the full band width 3γ.
+	if e := GrapheneEnergy(0, 0); math.Abs(e-3*units.Gamma) > 1e-9 {
+		t.Fatalf("Γ energy %g, want %g", e, 3*units.Gamma)
+	}
+}
+
+func TestTranslationIndicesZigzagArmchair(t *testing.T) {
+	// Zigzag (n,0): T = a1 - 2·a2... with dR = n the standard result is
+	// (t1, t2) = (1, -2).
+	if t1, t2 := (Chirality{13, 0}).TranslationIndices(); t1 != 1 || t2 != -2 {
+		t.Fatalf("zigzag T = (%d,%d)", t1, t2)
+	}
+	// Armchair (n,n): (1, -1).
+	if t1, t2 := (Chirality{8, 8}).TranslationIndices(); t1 != 1 || t2 != -1 {
+		t.Fatalf("armchair T = (%d,%d)", t1, t2)
+	}
+}
+
+func TestNumHexagons(t *testing.T) {
+	if n := (Chirality{13, 0}).NumHexagons(); n != 26 {
+		t.Fatalf("zigzag N = %d, want 26", n)
+	}
+	if n := (Chirality{8, 8}).NumHexagons(); n != 16 {
+		t.Fatalf("armchair N = %d, want 16", n)
+	}
+	// Chiral (4,2): dR = gcd(10, 8) = 2, N = 2·28/2 = 28.
+	if n := (Chirality{4, 2}).NumHexagons(); n != 28 {
+		t.Fatalf("(4,2) N = %d, want 28", n)
+	}
+}
+
+func TestTranslationLength(t *testing.T) {
+	// Zigzag: |T| = √3·a; armchair: |T| = a.
+	a := units.ALattice
+	if l := (Chirality{13, 0}).TranslationLength(); math.Abs(l-math.Sqrt(3)*a) > 1e-15 {
+		t.Fatalf("zigzag |T| = %g", l)
+	}
+	if l := (Chirality{8, 8}).TranslationLength(); math.Abs(l-a) > 1e-15 {
+		t.Fatalf("armchair |T| = %g", l)
+	}
+}
+
+func TestGeneralFoldingMatchesZigzagMinima(t *testing.T) {
+	for _, n := range []int{10, 13, 17} {
+		c := Chirality{n, 0}
+		gen := c.SubbandMinimaGeneral(3)
+		zig := ZigzagMinima(n)
+		for i := 0; i < 3 && i < len(zig); i++ {
+			if math.Abs(gen[i]-zig[i]) > 1e-3*(1+zig[i]) {
+				t.Fatalf("(%d,0) subband %d: general %g vs zigzag %g", n, i, gen[i], zig[i])
+			}
+		}
+	}
+}
+
+func TestArmchairIsGapless(t *testing.T) {
+	if gap := (Chirality{8, 8}).BandGapGeneral(); gap != 0 {
+		t.Fatalf("armchair gap %g, want 0", gap)
+	}
+}
+
+func TestMetallicRuleAcrossChiralities(t *testing.T) {
+	for _, c := range []Chirality{{9, 0}, {12, 3}, {10, 4}, {13, 0}, {7, 5}, {10, 10}} {
+		gap := c.BandGapGeneral()
+		if c.IsMetallic() {
+			// Curvature effects excluded in pure zone folding: the
+			// (n-m)%3 rule must give (near-)zero gap.
+			if gap > 0.02 {
+				t.Fatalf("%v metallic but gap %g", c, gap)
+			}
+		} else if gap < 0.1 {
+			t.Fatalf("%v semiconducting but gap %g", c, gap)
+		}
+	}
+}
+
+func TestSemiconductingGapScalesInverseDiameter(t *testing.T) {
+	// Eg ≈ 2·a_cc·γ/d across semiconducting chiralities of different
+	// families; allow the few-percent trigonal-warping deviation.
+	for _, c := range []Chirality{{10, 0}, {13, 0}, {17, 0}, {14, 1}, {10, 5}} {
+		if c.IsMetallic() {
+			continue
+		}
+		gap := c.BandGapGeneral()
+		want := 2 * units.ACC * units.Gamma / c.Diameter()
+		if math.Abs(gap-want)/want > 0.08 {
+			t.Fatalf("%v gap %g vs 2accγ/d %g", c, gap, want)
+		}
+	}
+}
+
+func TestDispersionPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { (Chirality{0, 0}).Dispersion(0, 0) },
+		func() { (Chirality{10, 0}).Dispersion(-1, 0) },
+		func() { (Chirality{10, 0}).Dispersion(99, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLadderConsistentWithGeneralFolding(t *testing.T) {
+	// The k·p ladder used by the device models must agree with exact
+	// folding for the first two subbands of a typical tube.
+	c := Chirality{17, 0}
+	gen := c.SubbandMinimaGeneral(2)
+	lad := Ladder(c.Diameter(), 2)
+	for i := 0; i < 2; i++ {
+		rel := math.Abs(gen[i]-lad[i].EMin) / gen[i]
+		if rel > 0.08 {
+			t.Fatalf("subband %d: general %g vs ladder %g", i, gen[i], lad[i].EMin)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package circuit
+
+import (
+	"fmt"
+
+	"cntfet/internal/fettoy"
+)
+
+// TransistorModel is the device-model dependency of the CNTFET
+// element; both the reference theory and the paper's piecewise models
+// satisfy it (it mirrors cntfet.Transistor without importing the
+// public package).
+type TransistorModel interface {
+	IDS(fettoy.Bias) (float64, error)
+}
+
+// ConductanceModel is the optional fast path: models that provide
+// analytic small-signal parameters (both library models do). The
+// element uses it for the Newton Jacobian instead of finite
+// differences, saving two device solves per stamp.
+type ConductanceModel interface {
+	TransistorModel
+	Conductances(fettoy.Bias) (ids, gm, gds float64, err error)
+}
+
+// Polarity selects n- or p-type behaviour. The ballistic theory models
+// an n-type device; the p-type is its complementary mirror (standard
+// practice in CNFET logic studies, where p-tubes are electrically
+// symmetric to n-tubes).
+type Polarity int
+
+// Polarities.
+const (
+	NType Polarity = iota
+	PType
+)
+
+func (p Polarity) String() string {
+	if p == PType {
+		return "p"
+	}
+	return "n"
+}
+
+// CNTFET is a three-terminal ballistic CNT transistor element backed
+// by a TransistorModel. Gate current is zero (the DC model has an
+// insulated gate); gate capacitance, when it matters, is added as
+// explicit Capacitor elements.
+type CNTFET struct {
+	Label   string
+	D, G, S string
+	Model   TransistorModel
+	Pol     Polarity
+	// Tubes multiplies the drain current (parallel nanotubes in one
+	// device, as fabricated CNFET logic gates do to boost drive).
+	Tubes int
+
+	// delta is the finite-difference step for gm/gds.
+	delta float64
+}
+
+// Name implements Element.
+func (m *CNTFET) Name() string { return m.Label }
+
+// Nodes implements Element.
+func (m *CNTFET) Nodes() []string { return []string{m.D, m.G, m.S} }
+
+// transform maps element terminal voltages to the n-type,
+// forward-biased frame the device models are defined in. It returns
+// the model bias, the current sign sigma (element current =
+// sigma·mult·I(bias)), the polarity sign sp (∂u/∂vg), and whether the
+// drain bias was reversed through source/drain symmetry.
+func (m *CNTFET) transform(vd, vg, vs float64) (b fettoy.Bias, sigma, sp float64, reversed bool) {
+	sp = 1.0
+	if m.Pol == PType {
+		// Mirror: a p-device with terminals (d,g,s) behaves as the
+		// n-device with all voltages negated, current reversed.
+		sp = -1
+	}
+	u := sp * (vg - vs)
+	w := sp * (vd - vs)
+	sigma = sp
+	// The ballistic model is defined for VD >= VS; for reversed drain
+	// bias exploit source/drain symmetry of the ideal device.
+	if w < 0 {
+		return fettoy.Bias{VG: u - w, VD: -w}, -sigma, sp, true
+	}
+	return fettoy.Bias{VG: u, VD: w}, sigma, sp, false
+}
+
+func (m *CNTFET) mult() float64 {
+	if m.Tubes == 0 {
+		return 1
+	}
+	return float64(m.Tubes)
+}
+
+// ids evaluates the polarity-adjusted drain current at terminal
+// voltages vd, vg, vs.
+func (m *CNTFET) ids(vd, vg, vs float64) (float64, error) {
+	b, sigma, _, _ := m.transform(vd, vg, vs)
+	i, err := m.Model.IDS(b)
+	if err != nil {
+		return 0, err
+	}
+	return sigma * m.mult() * i, nil
+}
+
+// conductances returns the element current and its terminal
+// derivatives (∂i/∂vg, ∂i/∂vd at fixed vs), using the model's
+// analytic path when available and central differences otherwise.
+func (m *CNTFET) conductances(vd, vg, vs float64) (id, gm, gds float64, err error) {
+	if cm, ok := m.Model.(ConductanceModel); ok {
+		b, sigma, sp, reversed := m.transform(vd, vg, vs)
+		mi, mgm, mgds, err := cm.Conductances(b)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		k := sigma * m.mult()
+		id = k * mi
+		// Chain rule through the frame transform: vg only moves the
+		// model's VG (by sp); vd moves VD by sp, and under reversal
+		// also VG (bVG = u - w).
+		gm = k * mgm * sp
+		if reversed {
+			gds = k * (-mgm - mgds) * sp
+		} else {
+			gds = k * mgds * sp
+		}
+		return id, gm, gds, nil
+	}
+	h := m.delta
+	if h == 0 {
+		h = 1e-5
+	}
+	id, err = m.ids(vd, vg, vs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	idg, _ := m.ids(vd, vg+h, vs)
+	idd, _ := m.ids(vd+h, vg, vs)
+	return id, (idg - id) / h, (idd - id) / h, nil
+}
+
+// Stamp implements Element: a MOSFET-style nonlinear stamp with
+// analytic gm/gds when the model provides them (both library models
+// do), finite differences otherwise.
+func (m *CNTFET) Stamp(s *Stamper) {
+	vd, vg, vs := s.V(m.D), s.V(m.G), s.V(m.S)
+	id, gm, gds, err := m.conductances(vd, vg, vs)
+	if err != nil {
+		// Signal through a stale stamp rather than panicking inside
+		// assembly; the Newton driver surfaces non-convergence.
+		id, gm, gds = 0, 0, 0
+	}
+	// Keep the Jacobian stable: tiny negative slopes from differencing
+	// noise are clamped.
+	if gds < 1e-12 {
+		gds = 1e-12
+	}
+	if gm < 0 && gm > -1e-12 {
+		gm = 0
+	}
+	// Companion: id(v) ≈ id0 + gm·Δvgs + gds·Δvds.
+	s.Conductance(m.D, m.S, gds)
+	s.Transconductance(m.D, m.S, m.G, m.S, gm)
+	ieq := id - gm*(vg-vs) - gds*(vd-vs)
+	s.CurrentInto(m.S, m.D, ieq) // ieq flows drain -> source inside
+	s.GminLoad(m.D)
+	s.GminLoad(m.S)
+}
+
+// DrainCurrent evaluates the element current at a solved operating
+// point.
+func (m *CNTFET) DrainCurrent(sol *Solution) (float64, error) {
+	if sol == nil {
+		return 0, fmt.Errorf("circuit: nil solution")
+	}
+	return m.ids(sol.Voltage(m.D), sol.Voltage(m.G), sol.Voltage(m.S))
+}

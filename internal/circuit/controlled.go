@@ -1,0 +1,66 @@
+package circuit
+
+// VCCS is a voltage-controlled current source (SPICE "G" element):
+// a current Gain·v(CP,CN) flows from node P through the source to
+// node N (i.e. into the circuit at N, out at P — the SPICE sign
+// convention for a transconductance).
+type VCCS struct {
+	Label  string
+	P, N   string // output nodes
+	CP, CN string // controlling nodes
+	Gain   float64
+}
+
+// Name implements Element.
+func (g *VCCS) Name() string { return g.Label }
+
+// Nodes implements Element.
+func (g *VCCS) Nodes() []string { return []string{g.P, g.N, g.CP, g.CN} }
+
+// Stamp implements Element.
+func (g *VCCS) Stamp(s *Stamper) {
+	// Current leaves P, enters N when the controlling voltage is
+	// positive: the classic four-entry transconductance stamp.
+	s.Transconductance(g.P, g.N, g.CP, g.CN, g.Gain)
+}
+
+// VCVS is a voltage-controlled voltage source (SPICE "E" element):
+// v(P,N) = Gain·v(CP,CN). Like an independent source it adds one MNA
+// branch current.
+type VCVS struct {
+	Label  string
+	P, N   string
+	CP, CN string
+	Gain   float64
+}
+
+// Name implements Element.
+func (e *VCVS) Name() string { return e.Label }
+
+// Nodes implements Element.
+func (e *VCVS) Nodes() []string { return []string{e.P, e.N, e.CP, e.CN} }
+
+// BranchCount implements BranchElement.
+func (e *VCVS) BranchCount() int { return 1 }
+
+// Stamp implements Element.
+func (e *VCVS) Stamp(s *Stamper) {
+	row := s.BranchIndex(e.Label)
+	// Branch current into P, out of N.
+	ip, in := s.nodeIndex(e.P), s.nodeIndex(e.N)
+	if ip >= 0 {
+		s.a.Add(ip, row, 1)
+		s.a.Add(row, ip, 1)
+	}
+	if in >= 0 {
+		s.a.Add(in, row, -1)
+		s.a.Add(row, in, -1)
+	}
+	// Constraint v(P) - v(N) - Gain·(v(CP) - v(CN)) = 0.
+	if cp := s.nodeIndex(e.CP); cp >= 0 {
+		s.a.Add(row, cp, -e.Gain)
+	}
+	if cn := s.nodeIndex(e.CN); cn >= 0 {
+		s.a.Add(row, cn, e.Gain)
+	}
+}

@@ -1,0 +1,159 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cntfet/internal/linalg"
+)
+
+// ErrNoConvergence is returned when Newton iteration fails even with
+// gmin stepping.
+var ErrNoConvergence = errors.New("circuit: DC analysis did not converge")
+
+// DCOptions tunes the operating-point solver.
+type DCOptions struct {
+	// MaxIter bounds Newton iterations per gmin step (default 100).
+	MaxIter int
+	// VTol is the node-voltage convergence tolerance (default 1e-9).
+	VTol float64
+	// MaxStep clamps the per-iteration voltage update (default 0.5 V),
+	// the classic damping that keeps exponential devices in range.
+	MaxStep float64
+	// GminSteps is the number of decades of gmin stepping tried before
+	// giving up (default 8, from 1e-4 down).
+	GminSteps int
+}
+
+func (o *DCOptions) fill() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.VTol == 0 {
+		o.VTol = 1e-9
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 0.5
+	}
+	if o.GminSteps == 0 {
+		o.GminSteps = 8
+	}
+}
+
+// OperatingPoint solves the DC operating point of the circuit.
+func (c *Circuit) OperatingPoint(opt DCOptions) (*Solution, error) {
+	opt.fill()
+	ix := c.buildIndex()
+	if ix.n == 0 {
+		return &Solution{ix: ix}, nil
+	}
+	st := newStamper(ix)
+	x := make([]float64, ix.n)
+
+	// Plain Newton first; on failure, walk gmin from large to small,
+	// reusing each converged solution as the next start.
+	if err := c.newton(st, x, 0, opt); err == nil {
+		return &Solution{ix: ix, x: x}, nil
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	gmin := 1e-4
+	for step := 0; step < opt.GminSteps; step++ {
+		if err := c.newton(st, x, gmin, opt); err != nil {
+			return nil, fmt.Errorf("%w (gmin=%g)", ErrNoConvergence, gmin)
+		}
+		gmin /= 100
+	}
+	if err := c.newton(st, x, 0, opt); err != nil {
+		return nil, err
+	}
+	return &Solution{ix: ix, x: x}, nil
+}
+
+// newton runs damped Newton iteration in place on x.
+func (c *Circuit) newton(st *Stamper, x []float64, gmin float64, opt DCOptions) error {
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		st.reset(x)
+		st.Gmin = gmin
+		for _, e := range c.elems {
+			e.Stamp(st)
+		}
+		xNew, err := linalg.SolveLU(st.a, st.rhs)
+		if err != nil {
+			return fmt.Errorf("circuit: singular MNA matrix: %w", err)
+		}
+		// Damp and measure the update.
+		worst := 0.0
+		for i := range x {
+			d := xNew[i] - x[i]
+			if math.Abs(d) > opt.MaxStep {
+				d = math.Copysign(opt.MaxStep, d)
+			}
+			x[i] += d
+			if a := math.Abs(d); a > worst {
+				worst = a
+			}
+		}
+		if worst < opt.VTol {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// SweepPoint is one solution of a DC sweep.
+type SweepPoint struct {
+	Value    float64
+	Solution *Solution
+}
+
+// DCSweep steps the waveform value of the named voltage source across
+// [from, to] with the given step, solving the operating point at each
+// value with continuation (each solution seeds the next).
+func (c *Circuit) DCSweep(source string, from, to, step float64, opt DCOptions) ([]SweepPoint, error) {
+	opt.fill()
+	el := c.Element(source)
+	if el == nil {
+		return nil, fmt.Errorf("circuit: sweep source %q not found", source)
+	}
+	vs, ok := el.(*VSource)
+	if !ok {
+		return nil, fmt.Errorf("circuit: sweep element %q is not a voltage source", source)
+	}
+	if step == 0 || (to-from)*step < 0 {
+		return nil, fmt.Errorf("circuit: bad sweep step %g for range [%g,%g]", step, from, to)
+	}
+	saved := vs.Wave
+	defer func() { vs.Wave = saved }()
+
+	ix := c.buildIndex()
+	st := newStamper(ix)
+	x := make([]float64, ix.n)
+	var out []SweepPoint
+	n := int(math.Floor((to-from)/step + 0.5))
+	for k := 0; k <= n; k++ {
+		v := from + float64(k)*step
+		vs.Wave = DC(v)
+		if err := c.newton(st, x, 0, opt); err != nil {
+			// Retry this point from scratch with gmin stepping.
+			sol, err2 := c.OperatingPoint(opt)
+			if err2 != nil {
+				return nil, fmt.Errorf("circuit: sweep %s=%g: %w", source, v, err)
+			}
+			copy(x, sol.x)
+		}
+		out = append(out, SweepPoint{Value: v, Solution: (&Solution{ix: ix, x: x}).Clone()})
+	}
+	return out, nil
+}
+
+// solveStamped factors and solves the assembled MNA system.
+func solveStamped(st *Stamper) ([]float64, error) {
+	x, err := linalg.SolveLU(st.a, st.rhs)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: singular MNA matrix: %w", err)
+	}
+	return x, nil
+}

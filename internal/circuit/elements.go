@@ -1,0 +1,285 @@
+package circuit
+
+import (
+	"math"
+)
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	Label string
+	A, B  string
+	Ohms  float64
+}
+
+// Name implements Element.
+func (r *Resistor) Name() string { return r.Label }
+
+// Nodes implements Element.
+func (r *Resistor) Nodes() []string { return []string{r.A, r.B} }
+
+// Stamp implements Element.
+func (r *Resistor) Stamp(s *Stamper) { s.Conductance(r.A, r.B, 1/r.Ohms) }
+
+// Capacitor is a linear capacitor. During DC it is open; during
+// transient it stamps its integration companion model.
+type Capacitor struct {
+	Label  string
+	A, B   string
+	Farads float64
+
+	// prevCurrent is the device current at the last accepted timestep,
+	// the extra state the trapezoidal companion needs. The transient
+	// driver maintains it.
+	prevCurrent float64
+}
+
+// Name implements Element.
+func (c *Capacitor) Name() string { return c.Label }
+
+// Nodes implements Element.
+func (c *Capacitor) Nodes() []string { return []string{c.A, c.B} }
+
+// Stamp implements Element.
+func (c *Capacitor) Stamp(s *Stamper) {
+	if s.Dt <= 0 {
+		return // open in DC
+	}
+	vPrev := s.PrevV(c.A) - s.PrevV(c.B)
+	if s.Trapezoidal {
+		// Trapezoidal companion: g = 2C/h, ieq = g·v_prev + i_prev.
+		g := 2 * c.Farads / s.Dt
+		iPrev := c.prevCurrent
+		s.Conductance(c.A, c.B, g)
+		s.CurrentInto(c.A, c.B, g*vPrev+iPrev)
+		return
+	}
+	// Backward Euler companion: g = C/h, ieq = g·v_prev.
+	g := c.Farads / s.Dt
+	s.Conductance(c.A, c.B, g)
+	s.CurrentInto(c.A, c.B, g*vPrev)
+}
+
+// Current returns the capacitor current for a pair of consecutive
+// solutions (used by the transient driver to roll trapezoidal state).
+func (c *Capacitor) Current(now, prev *Solution, dt float64, trapezoidal bool) float64 {
+	vNow := now.Voltage(c.A) - now.Voltage(c.B)
+	vPrev := prev.Voltage(c.A) - prev.Voltage(c.B)
+	if dt <= 0 {
+		return 0
+	}
+	if trapezoidal {
+		g := 2 * c.Farads / dt
+		return g*(vNow-vPrev) - c.prevCurrent
+	}
+	return c.Farads * (vNow - vPrev) / dt
+}
+
+// Waveform produces a source value as a function of time.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Pulse is the SPICE PULSE waveform: initial value, pulsed value,
+// delay, rise, fall, width and period.
+type Pulse struct {
+	V1, V2                           float64
+	Delay, Rise, Fall, Width, Period float64
+}
+
+// At implements Waveform.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.V1
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		tt = math.Mod(tt, p.Period)
+	}
+	rise := math.Max(p.Rise, 1e-15)
+	fall := math.Max(p.Fall, 1e-15)
+	switch {
+	case tt < rise:
+		return p.V1 + (p.V2-p.V1)*tt/rise
+	case tt < rise+p.Width:
+		return p.V2
+	case tt < rise+p.Width+fall:
+		return p.V2 + (p.V1-p.V2)*(tt-rise-p.Width)/fall
+	default:
+		return p.V1
+	}
+}
+
+// Sin is the SPICE SIN waveform: offset, amplitude, frequency, delay.
+type Sin struct {
+	Offset, Amplitude, Freq, Delay float64
+}
+
+// At implements Waveform.
+func (s Sin) At(t float64) float64 {
+	if t < s.Delay {
+		return s.Offset
+	}
+	return s.Offset + s.Amplitude*math.Sin(2*math.Pi*s.Freq*(t-s.Delay))
+}
+
+// VSource is an independent voltage source from P (positive) to N.
+type VSource struct {
+	Label string
+	P, N  string
+	Wave  Waveform
+}
+
+// Name implements Element.
+func (v *VSource) Name() string { return v.Label }
+
+// Nodes implements Element.
+func (v *VSource) Nodes() []string { return []string{v.P, v.N} }
+
+// BranchCount implements BranchElement.
+func (v *VSource) BranchCount() int { return 1 }
+
+// Stamp implements Element.
+func (v *VSource) Stamp(s *Stamper) {
+	s.VoltageBranch(s.BranchIndex(v.Label), v.P, v.N, v.Wave.At(s.Time))
+}
+
+// ISource is an independent current source pushing current from N into
+// P (SPICE convention: positive current flows P -> N through the
+// source, i.e. out of N into the circuit at P... here we keep the
+// simpler "into P" convention and document it).
+type ISource struct {
+	Label string
+	P, N  string
+	Wave  Waveform
+}
+
+// Name implements Element.
+func (i *ISource) Name() string { return i.Label }
+
+// Nodes implements Element.
+func (i *ISource) Nodes() []string { return []string{i.P, i.N} }
+
+// Stamp implements Element.
+func (i *ISource) Stamp(s *Stamper) {
+	s.CurrentInto(i.P, i.N, i.Wave.At(s.Time))
+}
+
+// Diode is a junction diode with the Shockley law
+// I = Is·(exp(V/(n·Vt)) - 1), linearised each Newton iteration. It is
+// mainly a nonlinear test element for the solver.
+type Diode struct {
+	Label string
+	A, B  string // anode, cathode
+	Is    float64
+	N     float64 // ideality (default 1)
+	Temp  float64 // kelvin (default 300)
+}
+
+// Name implements Element.
+func (d *Diode) Name() string { return d.Label }
+
+// Nodes implements Element.
+func (d *Diode) Nodes() []string { return []string{d.A, d.B} }
+
+// Stamp implements Element.
+func (d *Diode) Stamp(s *Stamper) {
+	n := d.N
+	if n == 0 {
+		n = 1
+	}
+	temp := d.Temp
+	if temp == 0 {
+		temp = 300
+	}
+	vt := n * 8.617333262e-5 * temp
+	v := s.V(d.A) - s.V(d.B)
+	// Limit the exponential argument to keep the Jacobian finite.
+	arg := v / vt
+	if arg > 80 {
+		arg = 80
+	}
+	ex := math.Exp(arg)
+	i := d.Is * (ex - 1)
+	g := d.Is * ex / vt
+	if g < 1e-15 {
+		g = 1e-15
+	}
+	// Companion: i(v) ≈ i0 + g·(v - v0)  ⇒ ieq = i0 - g·v0.
+	s.Conductance(d.A, d.B, g)
+	s.CurrentInto(d.B, d.A, i-g*v) // current leaves anode
+	s.GminLoad(d.A)
+	s.GminLoad(d.B)
+}
+
+// Inductor is a linear inductor. It is voltage-defined, so it owns an
+// MNA branch current: a short in DC, the backward-Euler/trapezoidal
+// companion in transient, jωL in AC.
+type Inductor struct {
+	Label  string
+	A, B   string
+	Henrys float64
+}
+
+// Name implements Element.
+func (l *Inductor) Name() string { return l.Label }
+
+// Nodes implements Element.
+func (l *Inductor) Nodes() []string { return []string{l.A, l.B} }
+
+// BranchCount implements BranchElement.
+func (l *Inductor) BranchCount() int { return 1 }
+
+// Stamp implements Element.
+func (l *Inductor) Stamp(s *Stamper) {
+	row := s.BranchIndex(l.Label)
+	ia, ib := s.nodeIndex(l.A), s.nodeIndex(l.B)
+	if ia >= 0 {
+		s.a.Add(ia, row, 1)
+		s.a.Add(row, ia, 1)
+	}
+	if ib >= 0 {
+		s.a.Add(ib, row, -1)
+		s.a.Add(row, ib, -1)
+	}
+	if s.Dt <= 0 {
+		// DC: v(A) - v(B) = 0 (ideal short); nothing more to stamp.
+		return
+	}
+	var iPrev, vPrev float64
+	if s.prev != nil {
+		iPrev = s.prev.BranchCurrent(l.Label)
+		vPrev = s.prev.Voltage(l.A) - s.prev.Voltage(l.B)
+	}
+	if s.Trapezoidal {
+		// v = (2L/h)(I - Iprev) - vPrev.
+		g := 2 * l.Henrys / s.Dt
+		s.a.Add(row, row, -g)
+		s.rhs[row] += -g*iPrev - vPrev
+		return
+	}
+	// Backward Euler: v = (L/h)(I - Iprev).
+	g := l.Henrys / s.Dt
+	s.a.Add(row, row, -g)
+	s.rhs[row] += -g * iPrev
+}
+
+// StampAC implements ACElement: v = jωL·I on the branch.
+func (l *Inductor) StampAC(s *ACStamper) {
+	row := s.BranchIndex(l.Label)
+	ia, ib := s.nodeIndex(l.A), s.nodeIndex(l.B)
+	if ia >= 0 {
+		s.a.Add(ia, row, 1)
+		s.a.Add(row, ia, 1)
+	}
+	if ib >= 0 {
+		s.a.Add(ib, row, -1)
+		s.a.Add(row, ib, -1)
+	}
+	s.a.Add(row, row, complex(0, -s.Omega*l.Henrys))
+}

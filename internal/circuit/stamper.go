@@ -1,0 +1,144 @@
+package circuit
+
+import (
+	"cntfet/internal/linalg"
+)
+
+// Stamper is the per-iteration assembly context handed to elements.
+// It exposes the current Newton iterate, the previous-timestep solution
+// (for companion models) and the integration context, and accumulates
+// the conductance matrix and right-hand side.
+type Stamper struct {
+	ix   *indexer
+	a    *linalg.Matrix
+	rhs  []float64
+	x    []float64 // current Newton iterate
+	prev *Solution // previous accepted solution (transient) or nil
+
+	// Time and Dt describe the transient step being assembled; Dt == 0
+	// means a DC analysis. Trapezoidal selects the integration rule.
+	Time, Dt    float64
+	Trapezoidal bool
+	// Gmin is the minimum conductance inserted by nonlinear elements
+	// from their terminals to ground during gmin stepping.
+	Gmin float64
+}
+
+func newStamper(ix *indexer) *Stamper {
+	return &Stamper{
+		ix:  ix,
+		a:   linalg.NewMatrix(ix.n, ix.n),
+		rhs: make([]float64, ix.n),
+	}
+}
+
+func (s *Stamper) reset(x []float64) {
+	s.a.Zero()
+	for i := range s.rhs {
+		s.rhs[i] = 0
+	}
+	s.x = x
+}
+
+// V returns the node voltage at the current Newton iterate.
+func (s *Stamper) V(node string) float64 {
+	if node == Ground {
+		return 0
+	}
+	i, ok := s.ix.node[node]
+	if !ok || s.x == nil {
+		return 0
+	}
+	return s.x[i]
+}
+
+// PrevV returns the node voltage of the previous accepted transient
+// solution, or the current iterate during DC.
+func (s *Stamper) PrevV(node string) float64 {
+	if s.prev == nil {
+		return s.V(node)
+	}
+	return s.prev.Voltage(node)
+}
+
+// nodeIndex returns the matrix index of a node, or -1 for ground.
+func (s *Stamper) nodeIndex(node string) int {
+	if node == Ground {
+		return -1
+	}
+	i, ok := s.ix.node[node]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// BranchIndex returns the first branch row of the named element.
+func (s *Stamper) BranchIndex(elem string) int { return s.ix.branch[elem] }
+
+// Conductance stamps a two-terminal conductance g between nodes a
+// and b.
+func (s *Stamper) Conductance(a, b string, g float64) {
+	ia, ib := s.nodeIndex(a), s.nodeIndex(b)
+	if ia >= 0 {
+		s.a.Add(ia, ia, g)
+	}
+	if ib >= 0 {
+		s.a.Add(ib, ib, g)
+	}
+	if ia >= 0 && ib >= 0 {
+		s.a.Add(ia, ib, -g)
+		s.a.Add(ib, ia, -g)
+	}
+}
+
+// Transconductance stamps a current at (out+, out-) controlled by the
+// voltage (in+, in-): i_out = g·v_in.
+func (s *Stamper) Transconductance(outP, outN, inP, inN string, g float64) {
+	op, on := s.nodeIndex(outP), s.nodeIndex(outN)
+	ip, in := s.nodeIndex(inP), s.nodeIndex(inN)
+	add := func(r, c int, v float64) {
+		if r >= 0 && c >= 0 {
+			s.a.Add(r, c, v)
+		}
+	}
+	add(op, ip, g)
+	add(op, in, -g)
+	add(on, ip, -g)
+	add(on, in, g)
+}
+
+// CurrentInto stamps a fixed current flowing *into* node a and out of
+// node b.
+func (s *Stamper) CurrentInto(a, b string, i float64) {
+	if ia := s.nodeIndex(a); ia >= 0 {
+		s.rhs[ia] += i
+	}
+	if ib := s.nodeIndex(b); ib >= 0 {
+		s.rhs[ib] -= i
+	}
+}
+
+// VoltageBranch stamps a voltage-source branch row: node p is held v
+// above node n, with the branch current entering p. row is the branch
+// index from BranchIndex.
+func (s *Stamper) VoltageBranch(row int, p, n string, v float64) {
+	ip, in := s.nodeIndex(p), s.nodeIndex(n)
+	if ip >= 0 {
+		s.a.Add(ip, row, 1)
+		s.a.Add(row, ip, 1)
+	}
+	if in >= 0 {
+		s.a.Add(in, row, -1)
+		s.a.Add(row, in, -1)
+	}
+	s.rhs[row] += v
+}
+
+// GminLoad adds the stepping conductance from a node to ground; called
+// by nonlinear elements so linear circuits stay exact.
+func (s *Stamper) GminLoad(node string) {
+	if s.Gmin > 0 {
+		s.Conductance(node, Ground, s.Gmin)
+	}
+}

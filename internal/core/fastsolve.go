@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+
+	"cntfet/internal/fettoy"
+)
+
+// The hot path of the paper: solving the self-consistent voltage
+// equation in closed form. The generic piecewise machinery in
+// internal/poly allocates (Taylor shifts, break merging); at one call
+// per bias point in a circuit simulator that overhead would swamp the
+// polynomial arithmetic itself, so this file re-implements the solve on
+// stack-allocated degree-3 coefficient arrays. A test cross-checks it
+// against the generic path.
+
+// cubic is a polynomial of degree <= 3, coef[i]·x^i.
+type cubic [4]float64
+
+func (c cubic) at(x float64) float64 {
+	return c[0] + x*(c[1]+x*(c[2]+x*c[3]))
+}
+
+func (c cubic) deriv(x float64) float64 {
+	return c[1] + x*(2*c[2]+x*3*c[3])
+}
+
+// shifted returns the coefficients of q(x) = c(x + h).
+func (c cubic) shifted(h float64) cubic {
+	return cubic{
+		c[0] + h*(c[1]+h*(c[2]+h*c[3])),
+		c[1] + h*(2*c[2]+3*h*c[3]),
+		c[2] + 3*h*c[3],
+		c[3],
+	}
+}
+
+// solveVSCFast solves F(V) = V + ul - (QS(V) + QS(V+vds))/CΣ = 0 using
+// the model's piecewise cubic charge curve, without allocation beyond
+// two small stack arrays. F is strictly increasing (CΣ plus a positive
+// quantum-capacitance term), so the sign of F at the merged breakpoints
+// brackets the root into exactly one region, where the closed-form
+// root of the region's polynomial applies (paper section V).
+func (m *Model) solveVSCFast(ul, vds float64) (float64, bool) {
+	// Merged breakpoints: QS(V) changes pieces at b_i, QS(V+vds) at
+	// b_i - vds. The paper's models have <= 3 breaks; custom specs up
+	// to 8 breaks still fit the stack buffer, beyond that the caller
+	// falls back to the generic path. Insertion sort beats
+	// sort.Float64s at this size and does not escape.
+	var cand [16]float64
+	if 2*len(m.fastBreaks) > len(cand) {
+		return 0, false
+	}
+	n := 0
+	for _, b := range m.fastBreaks {
+		cand[n] = b
+		cand[n+1] = b - vds
+		n += 2
+	}
+	for i := 1; i < n; i++ {
+		v := cand[i]
+		j := i - 1
+		for j >= 0 && cand[j] > v {
+			cand[j+1] = cand[j]
+			j--
+		}
+		cand[j+1] = v
+	}
+
+	// Find the first breakpoint where F >= 0; the root lies in the
+	// region ending there. If none, it lies beyond the last break.
+	// During the scan F(b) only needs point evaluations of QS.
+	inv := 1 / m.csigma
+	lo := math.Inf(-1)
+	hi := math.Inf(1)
+	for i := 0; i < n; i++ {
+		b := cand[i]
+		if i > 0 && b-cand[i-1] < 1e-15 {
+			continue // coincident break
+		}
+		f := b + ul - inv*(m.qsFast(b)+m.qsFast(b+vds))
+		if f >= 0 {
+			hi = b
+			break
+		}
+		lo = b
+	}
+
+	f := m.fTotal(pick(lo, hi), ul, vds)
+	return solveMonotoneCubic(f, lo, hi)
+}
+
+// pick returns a representative point inside (lo, hi].
+func pick(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi - 1e-9
+	case math.IsInf(hi, 1):
+		return lo + 1
+	default:
+		return 0.5 * (lo + hi)
+	}
+}
+
+// fTotal assembles the residual polynomial valid around point x:
+// F(V) = V + ul - (QS(V) + QS(V+vds))/CΣ.
+func (m *Model) fTotal(x, ul, vds float64) cubic {
+	p := m.pieceAt(x)
+	q := m.pieceAt(x + vds).shifted(vds)
+	inv := -1 / m.csigma
+	return cubic{
+		ul + inv*(p[0]+q[0]),
+		1 + inv*(p[1]+q[1]),
+		inv * (p[2] + q[2]),
+		inv * (p[3] + q[3]),
+	}
+}
+
+// pieceAt returns the charge-curve coefficients covering VSC = x.
+// Convention matches poly.Piecewise: piece i covers (b_{i-1}, b_i].
+func (m *Model) pieceAt(x float64) cubic {
+	for i, b := range m.fastBreaks {
+		if x <= b {
+			return m.fastCoef[i]
+		}
+	}
+	return m.fastCoef[len(m.fastCoef)-1]
+}
+
+// qsFast evaluates the fitted charge at VSC = x without constructing a
+// cubic value copy chain beyond the piece lookup.
+func (m *Model) qsFast(x float64) float64 {
+	for i, b := range m.fastBreaks {
+		if x <= b {
+			c := &m.fastCoef[i]
+			return c[0] + x*(c[1]+x*(c[2]+x*c[3]))
+		}
+	}
+	c := &m.fastCoef[len(m.fastCoef)-1]
+	return c[0] + x*(c[1]+x*(c[2]+x*c[3]))
+}
+
+// solveMonotoneCubic finds the root of an increasing polynomial of
+// degree <= 3 inside (lo, hi], in closed form, with a final Newton
+// polish. ok is false when no root lies in the interval (which for a
+// monotone residual means the bracketing logic failed upstream).
+func solveMonotoneCubic(c cubic, lo, hi float64) (float64, bool) {
+	const tol = 1e-12
+	try := func(r float64) (float64, bool) {
+		if (math.IsInf(lo, -1) || r >= lo-tol) && (math.IsInf(hi, 1) || r <= hi+tol) {
+			// One Newton polish step tightens the closed-form root.
+			if d := c.deriv(r); d != 0 {
+				step := c.at(r) / d
+				if math.Abs(step) < 1e-3*(1+math.Abs(r)) {
+					r -= step
+				}
+			}
+			return r, true
+		}
+		return 0, false
+	}
+
+	switch {
+	case c[3] != 0:
+		// Depressed cubic via Cardano / trigonometric form.
+		a, b, d := c[2]/c[3], c[1]/c[3], c[0]/c[3]
+		p := b - a*a/3
+		q := 2*a*a*a/27 - a*b/3 + d
+		shift := -a / 3
+		disc := q*q/4 + p*p*p/27
+		if disc > 0 {
+			sq := math.Sqrt(disc)
+			r := math.Cbrt(-q/2+sq) + math.Cbrt(-q/2-sq) + shift
+			return try(r)
+		}
+		if p == 0 {
+			return try(shift)
+		}
+		mmod := 2 * math.Sqrt(-p/3)
+		arg := 3 * q / (p * mmod)
+		if arg > 1 {
+			arg = 1
+		} else if arg < -1 {
+			arg = -1
+		}
+		theta := math.Acos(arg) / 3
+		for k := 0; k < 3; k++ {
+			r := mmod*math.Cos(theta-2*math.Pi*float64(k)/3) + shift
+			if v, ok := try(r); ok {
+				return v, true
+			}
+		}
+		return 0, false
+	case c[2] != 0:
+		disc := c[1]*c[1] - 4*c[2]*c[0]
+		if disc < 0 {
+			return 0, false
+		}
+		sq := math.Sqrt(disc)
+		var qq float64
+		if c[1] >= 0 {
+			qq = -0.5 * (c[1] + sq)
+		} else {
+			qq = -0.5 * (c[1] - sq)
+		}
+		if v, ok := try(qq / c[2]); ok {
+			return v, true
+		}
+		if qq != 0 {
+			return try(c[0] / qq)
+		}
+		return 0, false
+	case c[1] != 0:
+		return try(-c[0] / c[1])
+	default:
+		return 0, false
+	}
+}
+
+// initFast caches the stack-friendly representation of the fitted
+// charge curve; called once at construction.
+func (m *Model) initFast() {
+	m.fastBreaks = append([]float64(nil), m.qs.Breaks...)
+	m.fastCoef = make([]cubic, len(m.qs.Pieces))
+	for i, p := range m.qs.Pieces {
+		var c cubic
+		for j, v := range p.Coef {
+			if j > 3 {
+				break
+			}
+			c[j] = v
+		}
+		m.fastCoef[i] = c
+	}
+}
+
+// SolveVSCGeneric is the allocation-heavy reference implementation of
+// the closed-form solve, kept for cross-checking the fast path (and as
+// executable documentation of the algorithm in terms of the poly
+// package).
+func (m *Model) SolveVSCGeneric(b fettoy.Bias) (float64, error) {
+	return m.solveVSCGeneric(b)
+}

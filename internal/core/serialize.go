@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cntfet/internal/fettoy"
+	"cntfet/internal/poly"
+)
+
+// ModelData is the portable form of a fitted piecewise model: enough
+// to reconstruct evaluation exactly without refitting (and without the
+// slow reference model). It serialises cleanly to JSON, and is what
+// the VHDL-AMS exporter reads — the paper published its Model 2 as a
+// VHDL-AMS entity through the Southampton validation suite, and this
+// is the equivalent hand-off artifact.
+type ModelData struct {
+	// Spec is the region structure (breaks here are the nominal
+	// spec values; BreaksU carries the fitted ones).
+	Spec Spec `json:"spec"`
+	// Device is the parameter set the model was fitted for.
+	Device fettoy.Device `json:"device"`
+	// BreaksU are the fitted region boundaries in u = VSC - EF/q.
+	BreaksU []float64 `json:"breaks_u"`
+	// Pieces are the fitted q·NS polynomial coefficients per region
+	// in u-space, constant term first.
+	Pieces [][]float64 `json:"pieces"`
+	// N0 is the equilibrium electron density in states/m.
+	N0 float64 `json:"n0"`
+}
+
+// Export captures the fitted model.
+func (m *Model) Export() ModelData {
+	pieces := make([][]float64, len(m.qsU.Pieces))
+	for i, p := range m.qsU.Pieces {
+		pieces[i] = append([]float64(nil), p.Coef...)
+	}
+	return ModelData{
+		Spec:    m.spec,
+		Device:  m.dev,
+		BreaksU: append([]float64(nil), m.breaks...),
+		Pieces:  pieces,
+		N0:      m.n0,
+	}
+}
+
+// MarshalJSON lets a *Model be embedded directly in JSON documents.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Export())
+}
+
+// FromData reconstructs an evaluable model from exported data. The
+// same validation as fitting applies (C¹ at constrained breaks, device
+// sanity), so a corrupted artifact is rejected rather than silently
+// producing garbage currents.
+func FromData(d ModelData) (*Model, error) {
+	if err := d.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Pieces) != len(d.BreaksU)+1 {
+		return nil, fmt.Errorf("core: %d pieces need %d breaks, got %d",
+			len(d.Pieces), len(d.Pieces)-1, len(d.BreaksU))
+	}
+	pieces := make([]poly.Poly, len(d.Pieces))
+	for i, c := range d.Pieces {
+		pieces[i] = poly.New(c...)
+		if pieces[i].Degree() > 3 {
+			return nil, fmt.Errorf("core: piece %d has degree %d > 3", i, pieces[i].Degree())
+		}
+	}
+	pw, err := poly.NewPiecewise(d.BreaksU, pieces)
+	if err != nil {
+		return nil, err
+	}
+	if d.N0 < 0 {
+		return nil, fmt.Errorf("core: negative equilibrium density %g", d.N0)
+	}
+	return newModel(d.Device, d.Spec, append([]float64(nil), d.BreaksU...), pw, d.N0)
+}
+
+// UnmarshalData parses a JSON artifact produced by Export/MarshalJSON
+// and reconstructs the model.
+func UnmarshalData(raw []byte) (*Model, error) {
+	var d ModelData
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("core: parsing model data: %w", err)
+	}
+	return FromData(d)
+}

@@ -1,0 +1,129 @@
+package expdata
+
+import (
+	"math"
+	"testing"
+
+	"cntfet/internal/fettoy"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TableGates(), PaperVDS(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TableGates(), PaperVDS(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IDS {
+		for j := range a.IDS[i] {
+			if a.IDS[i][j] != b.IDS[i][j] {
+				t.Fatalf("dataset not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMeasurementBelowBallistic(t *testing.T) {
+	// Every non-ideality removes current, so the synthetic measurement
+	// must sit below the pure ballistic theory at matching bias.
+	ds, err := Generate([]float64{0.4}, PaperVDS(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fettoy.New(fettoy.Javey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, vd := range ds.VDS {
+		ballistic, err := ref.IDS(fettoy.Bias{VG: 0.4, VD: vd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.IDS[0][j] > ballistic+1e-18 {
+			t.Fatalf("measurement above theory at VDS=%g: %g > %g", vd, ds.IDS[0][j], ballistic)
+		}
+	}
+}
+
+func TestMeasurementWithinTenPercentBand(t *testing.T) {
+	// The whole point of the coefficients: ballistic theory tracks the
+	// synthetic measurement with order-10% RMS (table V band, <= ~15%).
+	ds, err := Generate([]float64{0.4}, PaperVDS(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fettoy.New(fettoy.Javey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, mean float64
+	for j, vd := range ds.VDS {
+		th, err := ref.IDS(fettoy.Bias{VG: 0.4, VD: vd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := th - ds.IDS[0][j]
+		sum += d * d
+		mean += ds.IDS[0][j]
+	}
+	n := float64(len(ds.VDS))
+	rms := 100 * math.Sqrt(sum/n) / (mean / n)
+	if rms < 2 || rms > 18 {
+		t.Fatalf("theory-vs-experiment RMS = %.1f%%, want order 10%%", rms)
+	}
+}
+
+func TestCurveLookup(t *testing.T) {
+	ds, err := Generate(PaperGates(), PaperVDS(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ds.Curve(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 5 {
+		t.Fatalf("curve length %d", len(c))
+	}
+	if _, err := ds.Curve(0.123); err == nil {
+		t.Fatal("missing gate accepted")
+	}
+}
+
+func TestCurrentsMonotoneInVDS(t *testing.T) {
+	ds, err := Generate([]float64{0.6}, PaperVDS(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < len(ds.VDS); j++ {
+		if ds.IDS[0][j] < ds.IDS[0][j-1]-1e-15 {
+			t.Fatalf("measurement not monotone at %g", ds.VDS[j])
+		}
+	}
+}
+
+func TestZeroGateCurveIsSmall(t *testing.T) {
+	// VG = 0 with EF = -0.05 eV: near-threshold, so the current should
+	// be well below the VG = 0.6 curve but still positive at VDS > 0.
+	ds, err := Generate([]float64{0, 0.6}, PaperVDS(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ds.IDS[0][4] < ds.IDS[1][4]/3) {
+		t.Fatalf("VG=0 curve %g not well below VG=0.6 curve %g", ds.IDS[0][4], ds.IDS[1][4])
+	}
+	if ds.IDS[0][4] <= 0 {
+		t.Fatal("VG=0 current should be positive at VDS=0.4")
+	}
+}
+
+func TestPaperGridHelpers(t *testing.T) {
+	if g := PaperVDS(0); len(g) != 41 || g[40] != 0.4 {
+		t.Fatalf("default grid %v", g[len(g)-1])
+	}
+	if len(PaperGates()) != 4 || len(TableGates()) != 3 {
+		t.Fatal("paper gate lists")
+	}
+}

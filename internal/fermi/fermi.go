@@ -1,0 +1,86 @@
+// Package fermi implements the Fermi–Dirac statistics the CNT theory is
+// built on: the occupation function, the closed-form order-0 integral
+// F0(η) = ln(1+e^η) that gives the ballistic drain current (paper
+// eq. 13), its derivative, and numerically evaluated integrals of other
+// orders for validation.
+package fermi
+
+import (
+	"math"
+
+	"cntfet/internal/quad"
+)
+
+// F returns the Fermi occupation f(e) = 1/(1+exp(e/kT)) where e is the
+// energy measured from the Fermi level and kT the thermal energy, both
+// in the same unit. The implementation is overflow-safe for |e/kT| up
+// to the float64 exponent range.
+func F(e, kT float64) float64 {
+	x := e / kT
+	if x > 0 {
+		// 1/(1+e^x) = e^-x/(1+e^-x); e^-x underflows safely to 0.
+		ex := math.Exp(-x)
+		return ex / (1 + ex)
+	}
+	return 1 / (1 + math.Exp(x))
+}
+
+// DF returns df/de, the derivative of the occupation with respect to
+// energy: -1/(4kT) sech^2(e/2kT), written to avoid overflow.
+func DF(e, kT float64) float64 {
+	x := e / (2 * kT)
+	if math.Abs(x) > 350 {
+		return 0
+	}
+	ch := math.Cosh(x)
+	return -1 / (4 * kT * ch * ch)
+}
+
+// F0 is the Fermi–Dirac integral of order 0 in its closed form
+// ln(1 + e^η) (paper eq. 13), evaluated without overflow: for large
+// positive η it returns η + ln(1+e^-η) ≈ η.
+func F0(eta float64) float64 {
+	if eta > 0 {
+		return eta + math.Log1p(math.Exp(-eta))
+	}
+	return math.Log1p(math.Exp(eta))
+}
+
+// DF0 is dF0/dη = 1/(1+e^-η), the occupation itself.
+func DF0(eta float64) float64 {
+	if eta < 0 {
+		ex := math.Exp(eta)
+		return ex / (1 + ex)
+	}
+	return 1 / (1 + math.Exp(-eta))
+}
+
+// Integral evaluates the normalised Fermi–Dirac integral of real order
+// j > -1,
+//
+//	F_j(η) = 1/Γ(j+1) ∫₀^∞ t^j / (1 + e^(t-η)) dt,
+//
+// by adaptive quadrature on a semi-infinite transform. It exists to
+// cross-check F0 and to support density-of-states validations; the
+// device models never call it in their hot paths.
+func Integral(j, eta float64) float64 {
+	gamma := math.Gamma(j + 1)
+	integrand := func(t float64) float64 {
+		if t == 0 {
+			if j > 0 {
+				return 0
+			}
+			// j == 0 edge: integrand is the occupation at t=0.
+			return 1 / (1 + math.Exp(-eta))
+		}
+		return math.Pow(t, j) * DF0(eta-t)
+	}
+	// DF0(eta-t) equals 1/(1+e^(t-eta)).
+	v, err := quad.SemiInfinite(integrand, 0, 1e-12)
+	if err != nil {
+		// The integrand is smooth and decaying; if the tolerance was
+		// not met the partial value is still the best estimate.
+		_ = err
+	}
+	return v / gamma
+}

@@ -1,0 +1,168 @@
+package fermi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const kT300 = 0.025852 // eV at 300 K
+
+func TestFermiFunctionLimits(t *testing.T) {
+	if got := F(0, kT300); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("f(0) = %g", got)
+	}
+	if got := F(-100*kT300, kT300); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("deep occupied f = %g", got)
+	}
+	if got := F(100*kT300, kT300); got > 1e-12 {
+		t.Fatalf("far tail f = %g", got)
+	}
+}
+
+func TestFermiFunctionOverflowSafe(t *testing.T) {
+	for _, e := range []float64{-1e6, -1e3, 1e3, 1e6} {
+		got := F(e, kT300)
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Fatalf("F(%g) = %g", e, got)
+		}
+	}
+}
+
+func TestFermiSymmetry(t *testing.T) {
+	// f(e) + f(-e) = 1
+	for _, e := range []float64{0.01, 0.1, 0.5, 3} {
+		if s := F(e, kT300) + F(-e, kT300); math.Abs(s-1) > 1e-12 {
+			t.Fatalf("symmetry broken at %g: %g", e, s)
+		}
+	}
+}
+
+func TestDFMatchesFiniteDifference(t *testing.T) {
+	h := 1e-6
+	for _, e := range []float64{-0.1, -0.01, 0, 0.02, 0.15} {
+		fd := (F(e+h, kT300) - F(e-h, kT300)) / (2 * h)
+		an := DF(e, kT300)
+		if math.Abs(fd-an) > 1e-5*math.Abs(an)+1e-9 {
+			t.Fatalf("DF(%g): analytic %g vs fd %g", e, an, fd)
+		}
+	}
+}
+
+func TestDFFarTailIsZero(t *testing.T) {
+	if DF(1e5, kT300) != 0 || DF(-1e5, kT300) != 0 {
+		t.Fatal("DF should underflow to 0 in the far tails")
+	}
+}
+
+func TestF0ClosedForm(t *testing.T) {
+	cases := []struct{ eta, want float64 }{
+		{0, math.Ln2},
+		{1, math.Log(1 + math.E)},
+		{-3, math.Log(1 + math.Exp(-3))},
+	}
+	for _, c := range cases {
+		if got := F0(c.eta); math.Abs(got-c.want) > 1e-14 {
+			t.Fatalf("F0(%g) = %.16g want %.16g", c.eta, got, c.want)
+		}
+	}
+}
+
+func TestF0LargeArguments(t *testing.T) {
+	// Degenerate limit: F0(η) → η.
+	if got := F0(800); math.Abs(got-800) > 1e-10 {
+		t.Fatalf("F0(800) = %g", got)
+	}
+	// Non-degenerate limit: F0(η) → e^η.
+	if got := F0(-30); math.Abs(got-math.Exp(-30)) > 1e-18 {
+		t.Fatalf("F0(-30) = %g", got)
+	}
+	if v := F0(-800); v != 0 && math.IsNaN(v) {
+		t.Fatalf("F0(-800) = %g", v)
+	}
+}
+
+func TestDF0IsOccupation(t *testing.T) {
+	for _, eta := range []float64{-5, -0.3, 0, 0.7, 10} {
+		want := 1 / (1 + math.Exp(-eta))
+		if got := DF0(eta); math.Abs(got-want) > 1e-14 {
+			t.Fatalf("DF0(%g) = %g want %g", eta, got, want)
+		}
+	}
+}
+
+func TestDF0MatchesF0FiniteDifference(t *testing.T) {
+	h := 1e-6
+	for _, eta := range []float64{-2, 0, 1.5, 4} {
+		fd := (F0(eta+h) - F0(eta-h)) / (2 * h)
+		if got := DF0(eta); math.Abs(got-fd) > 1e-6 {
+			t.Fatalf("DF0(%g) = %g, fd %g", eta, got, fd)
+		}
+	}
+}
+
+func TestIntegralOrderZeroMatchesClosedForm(t *testing.T) {
+	for _, eta := range []float64{-4, -1, 0, 1, 5, 12} {
+		num := Integral(0, eta)
+		if cf := F0(eta); math.Abs(num-cf) > 1e-6*(1+cf) {
+			t.Fatalf("F_0(%g): numeric %g closed %g", eta, num, cf)
+		}
+	}
+}
+
+func TestIntegralHalfOrderDegenerateLimit(t *testing.T) {
+	// For large η, F_1/2(η) → η^(3/2)/Γ(5/2) → (4/3√π)·η^(3/2) in the
+	// normalised convention.
+	eta := 40.0
+	want := math.Pow(eta, 1.5) / math.Gamma(2.5)
+	got := Integral(0.5, eta)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("F_1/2(%g) = %g, degenerate limit %g", eta, got, want)
+	}
+}
+
+func TestIntegralNonDegenerateLimit(t *testing.T) {
+	// For very negative η every order tends to e^η.
+	for _, j := range []float64{-0.5, 0, 0.5, 1} {
+		eta := -15.0
+		got := Integral(j, eta)
+		want := math.Exp(eta)
+		if math.Abs(got-want)/want > 1e-3 {
+			t.Fatalf("F_%g(%g) = %g want %g", j, eta, got, want)
+		}
+	}
+}
+
+// Property: F is monotone decreasing in energy and bounded in [0,1].
+func TestFermiMonotoneProperty(t *testing.T) {
+	f := func(e1, e2 float64) bool {
+		if math.IsNaN(e1) || math.IsNaN(e2) {
+			return true
+		}
+		a, b := math.Min(e1, e2), math.Max(e1, e2)
+		fa, fb := F(a, kT300), F(b, kT300)
+		return fa >= fb && fa >= 0 && fa <= 1 && fb >= 0 && fb <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: F0 is positive, increasing, and convexity of its derivative
+// (the occupation) stays within [0,1].
+func TestF0MonotoneProperty(t *testing.T) {
+	f := func(x1, x2 float64) bool {
+		if math.IsNaN(x1) || math.IsNaN(x2) || math.Abs(x1) > 1e6 || math.Abs(x2) > 1e6 {
+			return true
+		}
+		a, b := math.Min(x1, x2), math.Max(x1, x2)
+		if F0(a) > F0(b)+1e-12 {
+			return false
+		}
+		d := DF0(a)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package fettoy
+
+import (
+	"math"
+
+	"cntfet/internal/fermi"
+	"cntfet/internal/units"
+)
+
+// Conductances solves the operating point and returns the drain
+// current together with the analytic small-signal parameters
+// gm = ∂IDS/∂VG and gds = ∂IDS/∂VD (source held fixed).
+//
+// The derivatives come from implicit differentiation of the
+// self-consistent equation F(VSC; VG, VD) = 0 rather than finite
+// differences: with D = ∂F/∂VSC (one plus the normalised quantum
+// capacitance, always positive),
+//
+//	dVSC/dVG = -αG / D
+//	dVSC/dVD = -(αD + q·N'(UDF)/(2CΣ)) / D
+//
+// and the chain rule through IDS(VSC, VDS). For the reference model
+// this costs two extra N' integrals instead of two extra full
+// Newton-Raphson solves, which is what a circuit simulator's Jacobian
+// assembly needs at every iteration.
+func (m *Model) Conductances(b Bias) (ids, gm, gds float64, err error) {
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	vds := b.VD - b.VS
+	usf := m.dev.EF - vsc
+	udf := usf - vds
+
+	// ∂F/∂VSC and the bias partials of F.
+	qcs := units.Q / m.csigma
+	npS := m.NPrime(usf)
+	npD := m.NPrime(udf)
+	d := 1 + 0.5*qcs*(npS+npD)
+	dVdVG := -m.dev.AlphaG / d
+	dVdVD := -(m.dev.AlphaD + 0.5*qcs*npD) / d
+
+	// Current partials at fixed bias.
+	ids = m.CurrentAtVSC(vsc, b)
+	i0 := 2 * units.Q * units.KB * m.dev.T / (math.Pi * units.HBar) * m.dev.TransmissionOrBallistic()
+	var dIdV, dIdVD float64
+	for _, band := range m.bands {
+		deg := float64(band.Degeneracy) / 2
+		occS := fermi.DF0((usf - band.EMin) / m.kT)
+		occD := fermi.DF0((udf - band.EMin) / m.kT)
+		// ∂IDS/∂VSC: both USF and UDF move with -VSC.
+		dIdV += deg * (-occS + occD)
+		// ∂IDS/∂VD at fixed VSC: only UDF moves, with -VD, on the
+		// negated F0 term.
+		dIdVD += deg * occD
+	}
+	dIdV *= i0 / m.kT
+	dIdVD *= i0 / m.kT
+
+	gm = dIdV * dVdVG
+	gds = dIdV*dVdVD + dIdVD
+	return ids, gm, gds, nil
+}

@@ -1,0 +1,266 @@
+package fettoy
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"cntfet/internal/bandstruct"
+	"cntfet/internal/fermi"
+	"cntfet/internal/quad"
+	"cntfet/internal/rootfind"
+	"cntfet/internal/units"
+)
+
+// Model is the theoretical (FETToy-equivalent) ballistic CNT transistor.
+// It is safe for concurrent use after construction.
+type Model struct {
+	dev    Device
+	bands  []bandstruct.Subband // minima relative to the first subband edge
+	e1     float64              // first subband minimum from mid-gap, eV
+	kT     float64              // eV
+	csigma float64              // F/m
+	n0     float64              // equilibrium density, states/m
+
+	// quadTol is the absolute quadrature tolerance on the states/m
+	// scale of one integral.
+	quadTol float64
+
+	// Stats accumulate across calls; read them with Counters. Atomic,
+	// so concurrent sweeps stay race-free.
+	integralEvals atomic.Int64
+	newtonIters   atomic.Int64
+}
+
+// New validates the device and precomputes the equilibrium density N0.
+func New(dev Device) (*Model, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		dev:     dev,
+		bands:   dev.Bands(),
+		e1:      dev.E1(),
+		kT:      dev.KT(),
+		csigma:  dev.CSigma(),
+		quadTol: 1e-8 * bandstruct.D0(),
+	}
+	m.n0 = m.N(dev.EF)
+	return m, nil
+}
+
+// Device returns the parameter set the model was built from.
+func (m *Model) Device() Device { return m.dev }
+
+// N0 returns the equilibrium electron density in states/m (paper
+// eq. 4).
+func (m *Model) N0() float64 { return m.n0 }
+
+// Counters reports how many state-density integrals and Newton
+// iterations the model has performed since construction — the cost the
+// piecewise approximation removes.
+func (m *Model) Counters() (integrals, newtonIters int) {
+	return int(m.integralEvals.Load()), int(m.newtonIters.Load())
+}
+
+// N evaluates the full state-density integral
+//
+//	N(U) = Σ_p ∫ D_p(ε) f(ε-U) dε   [states/m]
+//
+// with ε measured from the first subband edge and U the effective Fermi
+// level on the same axis (paper eqs. 2-4 evaluate this at USF, UDF and
+// EF). The van Hove edge of each subband is integrated with the exact
+// sqrt substitution; the Fermi tail with a semi-infinite transform.
+func (m *Model) N(u float64) float64 {
+	m.integralEvals.Add(1)
+	total := 0.0
+	for _, b := range m.bands {
+		ep := b.EMin + m.e1         // minimum from mid-gap
+		eps0 := b.EMin              // minimum on the ε axis
+		w := math.Max(10*m.kT, 0.1) // singular-panel width, eV
+		deg := float64(b.Degeneracy) / 2 * bandstruct.D0()
+
+		// Edge panel: D_p(ε)f = [deg·(ε+E1)·f/(sqrt(ε+E1+Ep))] / sqrt(ε-εp).
+		g := func(eps float64) float64 {
+			x := eps + m.e1
+			return deg * x * fermi.F(eps-u, m.kT) / math.Sqrt(x+ep)
+		}
+		edge, err := quad.SqrtSingularUpper(g, eps0, eps0+w, m.quadTol)
+		if err != nil {
+			// Depth exhaustion leaves the best estimate; the tail
+			// below still completes the integral.
+			_ = err
+		}
+		// Smooth tail.
+		tail, err := quad.SemiInfinite(func(eps float64) float64 {
+			x := eps + m.e1
+			return deg * x / math.Sqrt(x*x-ep*ep) * fermi.F(eps-u, m.kT)
+		}, eps0+w, m.quadTol)
+		if err != nil {
+			_ = err
+		}
+		total += edge + tail
+	}
+	return total
+}
+
+// NPrime evaluates dN/dU >= 0 (states/m per eV), the quantum
+// capacitance integrand, with the same singular/tail splitting as N.
+func (m *Model) NPrime(u float64) float64 {
+	m.integralEvals.Add(1)
+	total := 0.0
+	for _, b := range m.bands {
+		ep := b.EMin + m.e1
+		eps0 := b.EMin
+		w := math.Max(10*m.kT, 0.1)
+		deg := float64(b.Degeneracy) / 2 * bandstruct.D0()
+
+		g := func(eps float64) float64 {
+			x := eps + m.e1
+			return deg * x * -fermi.DF(eps-u, m.kT) / math.Sqrt(x+ep)
+		}
+		edge, _ := quad.SqrtSingularUpper(g, eps0, eps0+w, m.quadTol)
+		tail, _ := quad.SemiInfinite(func(eps float64) float64 {
+			x := eps + m.e1
+			return deg * x / math.Sqrt(x*x-ep*ep) * -fermi.DF(eps-u, m.kT)
+		}, eps0+w, m.quadTol)
+		total += edge + tail
+	}
+	return total
+}
+
+// NS returns the density of positive-velocity states filled by the
+// source at self-consistent voltage vsc (paper eq. 2): ½·N(EF - vsc).
+func (m *Model) NS(vsc float64) float64 { return 0.5 * m.N(m.dev.EF-vsc) }
+
+// ND returns the density of negative-velocity states filled by the
+// drain (paper eq. 3): ½·N(EF - vsc - vds).
+func (m *Model) ND(vsc, vds float64) float64 { return 0.5 * m.N(m.dev.EF-vsc-vds) }
+
+// QS returns the source-side mobile charge q(NS - N0/2) in C/m (paper
+// eq. 10) — the quantity the piecewise models approximate.
+func (m *Model) QS(vsc float64) float64 {
+	return units.Q * (m.NS(vsc) - 0.5*m.n0)
+}
+
+// QD returns the drain-side mobile charge q(ND - N0/2) in C/m (paper
+// eq. 11).
+func (m *Model) QD(vsc, vds float64) float64 {
+	return units.Q * (m.ND(vsc, vds) - 0.5*m.n0)
+}
+
+// Bias is one operating point; source is the reference terminal.
+type Bias struct {
+	VG, VD, VS float64
+}
+
+// SolveStats reports the work one SolveVSC call performed.
+type SolveStats struct {
+	Iterations int
+	FuncEvals  int
+}
+
+// SolveVSC solves the self-consistent voltage equation (paper eq. 7,
+// with the corrected charge sign — see DESIGN.md):
+//
+//	VSC + (αG·VG + αD·VD + αS·VS) − q·(NS + ND − N0)/CΣ = 0
+//
+// by safeguarded Newton–Raphson with the analytic quantum-capacitance
+// derivative. This is the expensive step the paper's closed-form
+// technique eliminates.
+func (m *Model) SolveVSC(b Bias) (float64, SolveStats, error) {
+	alphaS := 1 - m.dev.AlphaG - m.dev.AlphaD
+	ul := m.dev.AlphaG*b.VG + m.dev.AlphaD*b.VD + alphaS*b.VS
+	vds := b.VD - b.VS
+	qcs := units.Q / m.csigma
+
+	g := func(v float64) float64 {
+		ns := 0.5 * m.N(m.dev.EF-v)
+		nd := 0.5 * m.N(m.dev.EF-v-vds)
+		return v + ul - qcs*(ns+nd-m.n0)
+	}
+	dg := func(v float64) float64 {
+		return 1 + 0.5*qcs*(m.NPrime(m.dev.EF-v)+m.NPrime(m.dev.EF-v-vds))
+	}
+
+	// The zero-charge solution -UL is the natural start; expand a
+	// bracket around it (g is strictly increasing).
+	lo, hi, err := rootfind.ExpandBracket(g, -ul-0.5, -ul+0.5, 40)
+	if err != nil {
+		return 0, SolveStats{}, fmt.Errorf("fettoy: no bracket for VSC at %+v: %w", b, err)
+	}
+	res, err := rootfind.Newton(g, dg, -ul, lo, hi, rootfind.Options{XTol: 1e-12, MaxIter: 100})
+	if err != nil {
+		return 0, SolveStats{}, fmt.Errorf("fettoy: VSC solve failed at %+v: %w", b, err)
+	}
+	m.newtonIters.Add(int64(res.Iterations))
+	return res.Root, SolveStats{Iterations: res.Iterations, FuncEvals: res.FuncEvals}, nil
+}
+
+// CurrentAtVSC evaluates the ballistic drain current (paper eqs. 12-14)
+// given an already-solved self-consistent voltage.
+func (m *Model) CurrentAtVSC(vsc float64, b Bias) float64 {
+	vds := b.VD - b.VS
+	usf := m.dev.EF - vsc
+	udf := usf - vds
+	i0 := 2 * units.Q * units.KB * m.dev.T / (math.Pi * units.HBar) * m.dev.TransmissionOrBallistic()
+	sum := 0.0
+	for _, band := range m.bands {
+		d := float64(band.Degeneracy) / 2
+		sum += d * (fermi.F0((usf-band.EMin)/m.kT) - fermi.F0((udf-band.EMin)/m.kT))
+	}
+	return i0 * sum
+}
+
+// IDS solves the operating point and returns the drain-source current
+// in amperes.
+func (m *Model) IDS(b Bias) (float64, error) {
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		return 0, err
+	}
+	return m.CurrentAtVSC(vsc, b), nil
+}
+
+// OperatingPoint bundles the solved internal state for one bias.
+type OperatingPoint struct {
+	Bias Bias
+	// VSC is the self-consistent voltage in volts.
+	VSC float64
+	// IDS is the drain-source current in amperes.
+	IDS float64
+	// QS, QD are the terminal mobile charges in C/m.
+	QS, QD float64
+	// Stats reports the solver work.
+	Stats SolveStats
+}
+
+// Solve computes the full operating point at bias b.
+func (m *Model) Solve(b Bias) (OperatingPoint, error) {
+	vsc, st, err := m.SolveVSC(b)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	vds := b.VD - b.VS
+	return OperatingPoint{
+		Bias:  b,
+		VSC:   vsc,
+		IDS:   m.CurrentAtVSC(vsc, b),
+		QS:    m.QS(vsc),
+		QD:    m.QD(vsc, vds),
+		Stats: st,
+	}, nil
+}
+
+// CQS returns the theoretical source-side nonlinear capacitance
+// dQS/dVSC in F/m (the figure-1 equivalent-circuit element): from
+// QS = q(N(EF-VSC)/2 - N0/2), dQS/dVSC = -q·N'(USF)/2.
+func (m *Model) CQS(vsc float64) float64 {
+	return -0.5 * units.Q * m.NPrime(m.dev.EF-vsc)
+}
+
+// CQD returns the theoretical drain-side nonlinear capacitance
+// dQD/dVSC in F/m.
+func (m *Model) CQD(vsc, vds float64) float64 {
+	return -0.5 * units.Q * m.NPrime(m.dev.EF-vsc-vds)
+}

@@ -1,0 +1,508 @@
+package fettoy
+
+import (
+	"math"
+	"testing"
+
+	"cntfet/internal/bandstruct"
+	"cntfet/internal/units"
+)
+
+func newDefault(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDeviceValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Device{}
+	for _, mut := range []func(*Device){
+		func(d *Device) { d.Diameter = 0 },
+		func(d *Device) { d.Tox = -1 },
+		func(d *Device) { d.Kappa = 0 },
+		func(d *Device) { d.T = 0 },
+		func(d *Device) { d.AlphaG = 0 },
+		func(d *Device) { d.AlphaG = 1.2 },
+		func(d *Device) { d.AlphaD = -0.1 },
+		func(d *Device) { d.AlphaG, d.AlphaD = 0.9, 0.2 },
+		func(d *Device) { d.Subbands = 0 },
+		func(d *Device) { d.Geometry = GateGeometry(9) },
+	} {
+		d := Default()
+		mut(&d)
+		bad = append(bad, d)
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, d)
+		}
+		if _, err := New(d); err == nil {
+			t.Errorf("New accepted mutation %d", i)
+		}
+	}
+}
+
+func TestDeviceCapacitanceSplit(t *testing.T) {
+	d := Default()
+	cg, cs, cd, ct := d.CG(), d.CS(), d.CD(), d.CSigma()
+	if !units.CloseRel(cg+cs+cd, ct, 1e-12) {
+		t.Fatalf("capacitances do not sum: %g+%g+%g != %g", cg, cs, cd, ct)
+	}
+	if !units.CloseRel(cg/ct, d.AlphaG, 1e-12) || !units.CloseRel(cd/ct, d.AlphaD, 1e-12) {
+		t.Fatal("alpha ratios broken")
+	}
+	// FETToy's nominal high-k thin coaxial oxide (1.5 nm ZrO2): CG is
+	// order 1e-9 F/m.
+	if cg < 3e-10 || cg > 3e-9 {
+		t.Fatalf("CG = %g F/m, implausible", cg)
+	}
+}
+
+func TestDeviceBandsRelativeToFirstEdge(t *testing.T) {
+	d := Default()
+	d.Subbands = 3
+	b := d.Bands()
+	if b[0].EMin != 0 {
+		t.Fatalf("first subband offset = %g, want 0", b[0].EMin)
+	}
+	if !(b[1].EMin > 0 && b[2].EMin > b[1].EMin) {
+		t.Fatalf("ladder not ascending: %+v", b)
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	if Coaxial.String() != "coaxial" || Planar.String() != "planar" {
+		t.Fatal("geometry names")
+	}
+	if GateGeometry(7).String() == "" {
+		t.Fatal("unknown geometry should still render")
+	}
+}
+
+func TestNDeepBelowBandIsTiny(t *testing.T) {
+	m := newDefault(t)
+	n := m.N(-1.0) // Fermi level 1 eV below the edge
+	if n < 0 || n > 1 {
+		t.Fatalf("N(-1eV) = %g states/m, want ~0", n)
+	}
+}
+
+func TestNMonotoneIncreasing(t *testing.T) {
+	m := newDefault(t)
+	prev := -1.0
+	for _, u := range []float64{-0.5, -0.3, -0.1, 0, 0.1, 0.3, 0.5} {
+		n := m.N(u)
+		if n <= prev {
+			t.Fatalf("N not increasing at U=%g: %g <= %g", u, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestNDegenerateLimitMatchesStatesBelow(t *testing.T) {
+	// At low temperature the Fermi function is a step, so
+	// N(U) → StatesBelow(U+E1) exactly (first subband only).
+	d := Default()
+	d.T = 30 // low T sharpens the step
+	m, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 0.5
+	got := m.N(u)
+	want := bandstruct.StatesBelow(u+d.E1(), bandstruct.Ladder(d.Diameter, 1))
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("degenerate N = %g, zero-T closed form %g", got, want)
+	}
+}
+
+func TestNPrimeMatchesFiniteDifference(t *testing.T) {
+	m := newDefault(t)
+	h := 1e-5
+	for _, u := range []float64{-0.2, -0.05, 0.05, 0.2, 0.4} {
+		fd := (m.N(u+h) - m.N(u-h)) / (2 * h)
+		an := m.NPrime(u)
+		if math.Abs(fd-an) > 2e-3*math.Abs(an)+1 {
+			t.Fatalf("NPrime(%g) = %g, fd %g", u, an, fd)
+		}
+	}
+}
+
+func TestQSDecreasesWithVSCAndVanishes(t *testing.T) {
+	m := newDefault(t)
+	prev := math.Inf(1)
+	for _, v := range []float64{-0.5, -0.3, -0.1, 0, 0.1} {
+		q := m.QS(v)
+		if q > prev+1e-18 {
+			t.Fatalf("QS not decreasing at VSC=%g", v)
+		}
+		prev = q
+	}
+	// Far above EF/q the source charge approaches -q·N0/2 (the
+	// filled-state term dies, leaving the equilibrium offset).
+	limit := -units.Q * m.N0() / 2
+	if got := m.QS(1.0); math.Abs(got-limit) > 1e-3*math.Abs(limit)+1e-18 {
+		t.Fatalf("QS(+1V) = %g, want %g", got, limit)
+	}
+}
+
+func TestQSMagnitudeMatchesPaperAxis(t *testing.T) {
+	// Figures 2-5: QS ~ 1e-11..1e-10 C/m for VSC in [-0.5, 0] at the
+	// paper's EF = -0.32 eV.
+	m := newDefault(t)
+	q := m.QS(-0.5)
+	if q < 1e-11 || q > 5e-10 {
+		t.Fatalf("QS(-0.5) = %g C/m, outside the paper's axis scale", q)
+	}
+}
+
+func TestSolveVSCResidualIsZero(t *testing.T) {
+	m := newDefault(t)
+	for _, b := range []Bias{
+		{VG: 0.3, VD: 0.1}, {VG: 0.6, VD: 0.6}, {VG: 0.1, VD: 0.4}, {VG: 0.45, VD: 0.25},
+	} {
+		vsc, st, err := m.SolveVSC(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		alphaS := 1 - m.dev.AlphaG - m.dev.AlphaD
+		ul := m.dev.AlphaG*b.VG + m.dev.AlphaD*b.VD + alphaS*b.VS
+		res := vsc + ul - units.Q/m.csigma*(m.NS(vsc)+m.ND(vsc, b.VD-b.VS)-m.n0)
+		if math.Abs(res) > 1e-9 {
+			t.Fatalf("%+v: residual %g after %d iters", b, res, st.Iterations)
+		}
+	}
+}
+
+func TestSolveVSCChargeFeedbackRaisesVSC(t *testing.T) {
+	// With charge, VSC must sit above the zero-charge value -UL
+	// (negative feedback pushes the band back up).
+	m := newDefault(t)
+	b := Bias{VG: 0.6, VD: 0.3}
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ul := m.dev.AlphaG*b.VG + m.dev.AlphaD*b.VD
+	if !(vsc > -ul && vsc < 0) {
+		t.Fatalf("VSC = %g, want in (-%g, 0)", vsc, ul)
+	}
+}
+
+func TestIDSZeroAtZeroVDS(t *testing.T) {
+	m := newDefault(t)
+	i, err := m.IDS(Bias{VG: 0.5, VD: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i) > 1e-15 {
+		t.Fatalf("IDS(VDS=0) = %g", i)
+	}
+}
+
+func TestIDSMicroampScaleAtPaperBias(t *testing.T) {
+	// Figure 6: IDS(VG=0.6, VDS=0.6) ≈ 8.5e-6 A. Device parameters are
+	// not identical to the paper's (they are unpublished), so accept
+	// the right order of magnitude.
+	m := newDefault(t)
+	i, err := m.IDS(Bias{VG: 0.6, VD: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i < 1e-6 || i > 5e-5 {
+		t.Fatalf("IDS = %g A, want microamp scale", i)
+	}
+}
+
+func TestIDSMonotoneInVG(t *testing.T) {
+	m := newDefault(t)
+	prev := -1.0
+	for _, vg := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
+		i, err := m.IDS(Bias{VG: vg, VD: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i <= prev {
+			t.Fatalf("IDS not increasing at VG=%g: %g <= %g", vg, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestIDSSaturatesInVDS(t *testing.T) {
+	m := newDefault(t)
+	var last, secondLast float64
+	for _, vd := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
+		i, err := m.IDS(Bias{VG: 0.5, VD: vd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < last {
+			t.Fatalf("IDS decreasing with VDS at %g", vd)
+		}
+		secondLast, last = last, i
+	}
+	// Saturation: the last increment is a small fraction of the level.
+	if (last-secondLast)/last > 0.10 {
+		t.Fatalf("no saturation: last step %g of %g", last-secondLast, last)
+	}
+}
+
+func TestSolveReturnsConsistentOperatingPoint(t *testing.T) {
+	m := newDefault(t)
+	b := Bias{VG: 0.5, VD: 0.4}
+	op, err := m.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := m.IDS(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.CloseRel(op.IDS, ids, 1e-9) {
+		t.Fatalf("Solve IDS %g vs IDS %g", op.IDS, ids)
+	}
+	if op.QS < op.QD {
+		t.Fatalf("source charge %g below drain charge %g at positive VDS", op.QS, op.QD)
+	}
+	if op.Stats.Iterations == 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	m := newDefault(t)
+	i0, n0 := m.Counters()
+	if _, err := m.IDS(Bias{VG: 0.4, VD: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	i1, n1 := m.Counters()
+	if i1 <= i0 || n1 <= n0 {
+		t.Fatalf("counters did not advance: %d->%d, %d->%d", i0, i1, n0, n1)
+	}
+}
+
+func TestMultiSubbandAddsCurrent(t *testing.T) {
+	d1 := Default()
+	m1, _ := New(d1)
+	d3 := Default()
+	d3.Subbands = 3
+	m3, err := New(d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Bias{VG: 0.6, VD: 0.6}
+	// At a fixed VSC the extra subbands can only add current. (The
+	// self-consistent totals may differ either way, because the extra
+	// charge also pushes VSC up.)
+	vsc := -0.3
+	if i3, i1 := m3.CurrentAtVSC(vsc, b), m1.CurrentAtVSC(vsc, b); i3 < i1 {
+		t.Fatalf("3-subband current %g below 1-subband %g at fixed VSC", i3, i1)
+	}
+	// And the extra subbands add mobile charge at fixed VSC.
+	if q3, q1 := m3.QS(vsc), m1.QS(vsc); q3 < q1 {
+		t.Fatalf("3-subband charge %g below 1-subband %g", q3, q1)
+	}
+	// The self-consistent solve still works.
+	if _, err := m3.IDS(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaveyDeviceSolves(t *testing.T) {
+	m, err := New(Javey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := m.IDS(Bias{VG: 0.6, VD: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 10 peaks near 1e-5 A at VG=0.6, VDS=0.4.
+	if i < 1e-7 || i > 1e-4 {
+		t.Fatalf("Javey IDS = %g A", i)
+	}
+}
+
+func TestConductancesMatchFiniteDifferences(t *testing.T) {
+	m := newDefault(t)
+	h := 1e-6
+	for _, b := range []Bias{
+		{VG: 0.3, VD: 0.2}, {VG: 0.5, VD: 0.05}, {VG: 0.6, VD: 0.5}, {VG: 0.15, VD: 0.4},
+	} {
+		ids, gm, gds, err := m.Conductances(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		direct, err := m.IDS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !units.CloseRel(ids, direct, 1e-9) {
+			t.Fatalf("%+v: Conductances IDS %g vs IDS %g", b, ids, direct)
+		}
+		iGp, _ := m.IDS(Bias{VG: b.VG + h, VD: b.VD})
+		iGm, _ := m.IDS(Bias{VG: b.VG - h, VD: b.VD})
+		iDp, _ := m.IDS(Bias{VG: b.VG, VD: b.VD + h})
+		iDm, _ := m.IDS(Bias{VG: b.VG, VD: b.VD - h})
+		fdGm := (iGp - iGm) / (2 * h)
+		fdGds := (iDp - iDm) / (2 * h)
+		if math.Abs(gm-fdGm) > 2e-3*math.Abs(fdGm)+1e-12 {
+			t.Fatalf("%+v: gm analytic %g vs fd %g", b, gm, fdGm)
+		}
+		if math.Abs(gds-fdGds) > 2e-3*math.Abs(fdGds)+1e-12 {
+			t.Fatalf("%+v: gds analytic %g vs fd %g", b, gds, fdGds)
+		}
+	}
+}
+
+func TestConductancesSigns(t *testing.T) {
+	m := newDefault(t)
+	_, gm, gds, err := m.Conductances(Bias{VG: 0.5, VD: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm <= 0 {
+		t.Fatalf("gm = %g, want positive for an n-type device", gm)
+	}
+	if gds <= 0 {
+		t.Fatalf("gds = %g, want positive", gds)
+	}
+}
+
+func TestCurrentSpectrumIntegratesToIDS(t *testing.T) {
+	// ∫ dI/dε dε must equal the closed-form F0 current: the spectrum
+	// is the Landauer integrand of eq. 12.
+	m := newDefault(t)
+	b := Bias{VG: 0.55, VD: 0.4}
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.CurrentAtVSC(vsc, b)
+	// Trapezoid over a grid wide enough for the tails.
+	n := 4000
+	upper := 1.5
+	h := upper / float64(n)
+	sum := 0.5 * (m.CurrentSpectrum(vsc, b, 0) + m.CurrentSpectrum(vsc, b, upper))
+	for i := 1; i < n; i++ {
+		sum += m.CurrentSpectrum(vsc, b, float64(i)*h)
+	}
+	got := sum * h
+	if math.Abs(got-want)/want > 1e-4 {
+		t.Fatalf("∫spectrum = %g, IDS = %g", got, want)
+	}
+}
+
+func TestCurrentSpectrumWindowShape(t *testing.T) {
+	// The spectrum must be non-negative for positive VDS and peak
+	// between the drain and source Fermi levels.
+	m := newDefault(t)
+	b := Bias{VG: 0.6, VD: 0.3}
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usf := m.Device().EF - vsc
+	peak, peakEps := 0.0, 0.0
+	for e := 0.0; e < 1.0; e += 0.002 {
+		s := m.CurrentSpectrum(vsc, b, e)
+		if s < -1e-20 {
+			t.Fatalf("negative spectrum %g at ε=%g", s, e)
+		}
+		if s > peak {
+			peak, peakEps = s, e
+		}
+	}
+	if peak == 0 {
+		t.Fatal("empty spectrum")
+	}
+	// For an on-state bias the window is [UDF, USF]; the peak must sit
+	// below USF + a few kT.
+	if peakEps > usf+5*m.Device().KT() {
+		t.Fatalf("spectrum peak at %g eV, above the source window edge %g", peakEps, usf)
+	}
+}
+
+func TestSpectrumSeries(t *testing.T) {
+	m := newDefault(t)
+	eps, s, err := m.SpectrumSeries(Bias{VG: 0.5, VD: 0.3}, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != len(s) || len(eps) != 200 {
+		t.Fatalf("series lengths %d/%d", len(eps), len(s))
+	}
+}
+
+func TestTransmissionScalesCurrent(t *testing.T) {
+	// The simplest non-ballistic correction (the paper's future work):
+	// the Landauer current scales by T while the charge balance — and
+	// therefore VSC — is untouched.
+	dBal := Default()
+	dScat := Default()
+	dScat.Transmission = 0.5
+	mb, err := New(dBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := New(dScat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Bias{VG: 0.5, VD: 0.4}
+	vb, _, err := mb.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _, err := ms.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vb-vs) > 1e-9 {
+		t.Fatalf("VSC changed with transmission: %g vs %g", vb, vs)
+	}
+	ib, _ := mb.IDS(b)
+	is, _ := ms.IDS(b)
+	if math.Abs(is-0.5*ib) > 1e-9*ib {
+		t.Fatalf("T=0.5 current %g, want half of %g", is, ib)
+	}
+	// Conductances scale identically.
+	_, gmB, gdsB, err := mb.Conductances(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gmS, gdsS, err := ms.Conductances(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gmS-0.5*gmB) > 1e-6*gmB || math.Abs(gdsS-0.5*gdsB) > 1e-6*math.Abs(gdsB) {
+		t.Fatalf("conductances not scaled: gm %g/%g gds %g/%g", gmS, gmB, gdsS, gdsB)
+	}
+}
+
+func TestTransmissionValidation(t *testing.T) {
+	d := Default()
+	d.Transmission = -0.1
+	if err := d.Validate(); err == nil {
+		t.Fatal("negative transmission accepted")
+	}
+	d.Transmission = 1.5
+	if err := d.Validate(); err == nil {
+		t.Fatal("transmission above 1 accepted")
+	}
+	d.Transmission = 0 // zero value = ballistic
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.TransmissionOrBallistic() != 1 {
+		t.Fatal("zero value should resolve to ballistic")
+	}
+}

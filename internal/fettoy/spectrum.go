@@ -1,0 +1,53 @@
+package fettoy
+
+import (
+	"math"
+
+	"cntfet/internal/fermi"
+	"cntfet/internal/units"
+)
+
+// CurrentSpectrum evaluates the energy-resolved drain current density
+// dI/dε in A/eV at energy ε (eV above the first subband edge at the
+// top of the barrier) for an already-solved self-consistent voltage.
+// It is the Landauer integrand behind eq. 12:
+//
+//	dI/dε = (2q²/πħ)·Σ_p d_p·θ(ε − ε_p)·[f(ε − USF) − f(ε − UDF)]
+//
+// so that ∫₀^∞ dI/dε dε = IDS exactly (the F0 closed form is this
+// integral done analytically). Useful for inspecting where in energy
+// the current flows — the spectrum peaks between the source and drain
+// Fermi levels and decays with the thermal tails.
+func (m *Model) CurrentSpectrum(vsc float64, b Bias, eps float64) float64 {
+	vds := b.VD - b.VS
+	usf := m.dev.EF - vsc
+	udf := usf - vds
+	k := 2 * units.Q * units.Q / (math.Pi * units.HBar) * m.dev.TransmissionOrBallistic()
+	s := 0.0
+	for _, band := range m.bands {
+		if eps < band.EMin {
+			continue
+		}
+		d := float64(band.Degeneracy) / 2
+		s += d * (fermi.F(eps-usf, m.kT) - fermi.F(eps-udf, m.kT))
+	}
+	return k * s
+}
+
+// SpectrumSeries samples the current spectrum on an energy grid for
+// one solved bias point, returning the grid and dI/dε values.
+func (m *Model) SpectrumSeries(b Bias, epsMax float64, points int) (eps, didE []float64, err error) {
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if points < 2 {
+		points = 200
+	}
+	eps = units.Linspace(0, epsMax, points)
+	didE = make([]float64, len(eps))
+	for i, e := range eps {
+		didE[i] = m.CurrentSpectrum(vsc, b, e)
+	}
+	return eps, didE, nil
+}

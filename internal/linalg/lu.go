@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation meets an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an LU factorisation with partial pivoting: P*A = L*U.
+// The factors are stored compactly in a single matrix (unit lower
+// triangle implicit).
+type LU struct {
+	lu   *Matrix
+	piv  []int // row i of the factor came from row piv[i] of A
+	sign int   // +1/-1, parity of the permutation, for Det
+}
+
+// FactorLU computes the LU factorisation of a square matrix a using
+// partial (row) pivoting. The input matrix is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: LU needs a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Find the pivot row.
+		p, pmax := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return f, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	for j := 0; j < m.Cols(); j++ {
+		va, vb := m.At(a, j), m.At(b, j)
+		m.Set(a, j, vb)
+		m.Set(b, j, va)
+	}
+}
+
+// Solve solves A*x = b for one right-hand side.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivSource(i)]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Backward substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+func (f *LU) pivSource(i int) int { return f.piv[i] }
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLU factors a and solves a*x = b in one call. Use FactorLU
+// directly when solving for many right-hand sides.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// CondEstimate returns a cheap lower-bound estimate of the infinity-norm
+// condition number of a, using ||A||_inf multiplied by the norm of the
+// solution of A x = e for a few probing vectors. It is only used to warn
+// about badly scaled fitting problems, not for rigorous analysis.
+func CondEstimate(a *Matrix) float64 {
+	f, err := FactorLU(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	n := a.Rows()
+	normA := 0.0
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += math.Abs(a.At(i, j))
+		}
+		if s > normA {
+			normA = s
+		}
+	}
+	best := 0.0
+	probe := make([]float64, n)
+	for trial := 0; trial < 3; trial++ {
+		for i := range probe {
+			switch trial {
+			case 0:
+				probe[i] = 1
+			case 1:
+				if i%2 == 0 {
+					probe[i] = 1
+				} else {
+					probe[i] = -1
+				}
+			default:
+				probe[i] = 1 / float64(i+1)
+			}
+		}
+		x, err := f.Solve(probe)
+		if err != nil {
+			return math.Inf(1)
+		}
+		if nx := NormInf(x) / NormInf(probe); nx > best {
+			best = nx
+		}
+	}
+	return normA * best
+}

@@ -1,0 +1,120 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorisation of an m-by-n matrix with
+// m >= n: A = Q*R with Q orthogonal (m-by-m, stored implicitly as
+// Householder reflectors) and R upper triangular (n-by-n).
+type QR struct {
+	qr    *Matrix   // reflectors below the diagonal, R on and above
+	rdiag []float64 // diagonal of R
+}
+
+// FactorQR computes the QR factorisation of a (m >= n required). The
+// input is not modified.
+func FactorQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR needs rows >= cols, got %dx%d", m, n)
+	}
+	f := &QR{qr: a.Clone(), rdiag: make([]float64, n)}
+	qr := f.qr
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below (and including) the diagonal.
+		col := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			col[i-k] = qr.At(i, k)
+		}
+		nrm := Norm2(col)
+		if nrm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Add(k, k, 1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Add(i, j, s*qr.At(i, k))
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f, nil
+}
+
+// Solve returns the least-squares solution x minimising ||A*x - b||2.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), m)
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Q^T to b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R*x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		if f.rdiag[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A*x - b||2 by QR in one call and also
+// returns the residual 2-norm.
+func LeastSquares(a *Matrix, b []float64) (x []float64, resid float64, err error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err = f.Solve(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := a.MulVec(x)
+	for i := range r {
+		r[i] -= b[i]
+	}
+	return x, Norm2(r), nil
+}
+
+// RDiagMin returns the smallest |R_ii|, a cheap rank/conditioning probe
+// for least-squares design matrices.
+func (f *QR) RDiagMin() float64 {
+	mn := math.Inf(1)
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a < mn {
+			mn = a
+		}
+	}
+	return mn
+}

@@ -1,0 +1,244 @@
+// Package logic builds static complementary logic gates out of CNT
+// transistors and measures their figures of merit. The paper closes by
+// pointing at "practical logic circuit structures based on CNT
+// devices" as the purpose of a fast circuit-level model; this package
+// is that purpose made executable: gate netlist builders (inverter,
+// NAND2, NOR2, inverter chains, ring oscillators) plus static and
+// dynamic metrology (VTC metrics, propagation delay, oscillation
+// frequency).
+//
+// Gates use the standard complementary topology with the n-type
+// ballistic model and its mirrored p-type (electrically symmetric
+// tubes, the usual CNFET-logic assumption).
+package logic
+
+import (
+	"fmt"
+
+	"cntfet/internal/circuit"
+)
+
+// Library carries the shared parameters of a gate family.
+type Library struct {
+	// Model is the transistor model both polarities use.
+	Model circuit.TransistorModel
+	// VDD is the supply voltage in volts.
+	VDD float64
+	// LoadCap is the capacitance attached to every gate output in
+	// farads (wire + fan-in proxy); zero means none.
+	LoadCap float64
+	// Tubes is the per-device parallel-tube count (0 = 1).
+	Tubes int
+}
+
+// Validate reports the first problem with the library parameters.
+func (l *Library) Validate() error {
+	if l.Model == nil {
+		return fmt.Errorf("logic: library needs a transistor model")
+	}
+	if l.VDD <= 0 {
+		return fmt.Errorf("logic: VDD = %g must be positive", l.VDD)
+	}
+	if l.LoadCap < 0 {
+		return fmt.Errorf("logic: negative load capacitance")
+	}
+	return nil
+}
+
+// Supply adds the VDD rail source to a circuit (idempotent per name).
+func (l *Library) Supply(c *circuit.Circuit, name string) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	return c.Add(&circuit.VSource{Label: name, P: "vdd", N: circuit.Ground, Wave: circuit.DC(l.VDD)})
+}
+
+func (l *Library) fet(label, d, g, s string, pol circuit.Polarity) *circuit.CNTFET {
+	return &circuit.CNTFET{Label: label, D: d, G: g, S: s, Model: l.Model, Pol: pol, Tubes: l.Tubes}
+}
+
+func (l *Library) load(c *circuit.Circuit, name, out string) error {
+	if l.LoadCap <= 0 {
+		return nil
+	}
+	return c.Add(&circuit.Capacitor{Label: name + "_cl", A: out, B: circuit.Ground, Farads: l.LoadCap})
+}
+
+// Inverter adds a complementary inverter named name from in to out.
+func (l *Library) Inverter(c *circuit.Circuit, name, in, out string) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if err := c.Add(l.fet(name+"_p", out, in, "vdd", circuit.PType)); err != nil {
+		return err
+	}
+	if err := c.Add(l.fet(name+"_n", out, in, circuit.Ground, circuit.NType)); err != nil {
+		return err
+	}
+	return l.load(c, name, out)
+}
+
+// NAND2 adds a two-input NAND gate: parallel p-pull-up, series
+// n-pull-down.
+func (l *Library) NAND2(c *circuit.Circuit, name, a, b, out string) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	mid := name + "_mid"
+	for _, el := range []*circuit.CNTFET{
+		l.fet(name+"_pa", out, a, "vdd", circuit.PType),
+		l.fet(name+"_pb", out, b, "vdd", circuit.PType),
+		l.fet(name+"_na", out, a, mid, circuit.NType),
+		l.fet(name+"_nb", mid, b, circuit.Ground, circuit.NType),
+	} {
+		if err := c.Add(el); err != nil {
+			return err
+		}
+	}
+	return l.load(c, name, out)
+}
+
+// NOR2 adds a two-input NOR gate: series p-pull-up, parallel
+// n-pull-down.
+func (l *Library) NOR2(c *circuit.Circuit, name, a, b, out string) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	mid := name + "_mid"
+	for _, el := range []*circuit.CNTFET{
+		l.fet(name+"_pa", mid, a, "vdd", circuit.PType),
+		l.fet(name+"_pb", out, b, mid, circuit.PType),
+		l.fet(name+"_na", out, a, circuit.Ground, circuit.NType),
+		l.fet(name+"_nb", out, b, circuit.Ground, circuit.NType),
+	} {
+		if err := c.Add(el); err != nil {
+			return err
+		}
+	}
+	return l.load(c, name, out)
+}
+
+// Chain adds n inverters in series from in; it returns the output node
+// names of every stage (the last entry is the chain output).
+func (l *Library) Chain(c *circuit.Circuit, name, in string, n int) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("logic: chain needs at least one stage")
+	}
+	outs := make([]string, n)
+	prev := in
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("%s_%d", name, i+1)
+		if err := l.Inverter(c, fmt.Sprintf("%s_inv%d", name, i+1), prev, out); err != nil {
+			return nil, err
+		}
+		outs[i] = out
+		prev = out
+	}
+	return outs, nil
+}
+
+// RingOscillator adds an odd-stage inverter ring plus a start-up
+// current kick on the first node, returning the ring node names.
+func (l *Library) RingOscillator(c *circuit.Circuit, name string, stages int) ([]string, error) {
+	if stages < 3 || stages%2 == 0 {
+		return nil, fmt.Errorf("logic: ring needs an odd stage count >= 3, got %d", stages)
+	}
+	nodes := make([]string, stages)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("%s_n%d", name, i+1)
+	}
+	for i := range nodes {
+		in := nodes[i]
+		out := nodes[(i+1)%stages]
+		if err := l.Inverter(c, fmt.Sprintf("%s_inv%d", name, i+1), in, out); err != nil {
+			return nil, err
+		}
+	}
+	kick := &circuit.ISource{Label: name + "_kick", P: nodes[0], N: circuit.Ground,
+		Wave: circuit.Pulse{V1: 0, V2: 2e-6, Rise: 1e-12, Width: 50e-12, Fall: 1e-12, Period: 1}}
+	if err := c.Add(kick); err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}
+
+// XOR2 adds a two-input XOR built from four NAND gates
+// (the classic construction: X = A⊼(A⊼B), Y = B⊼(A⊼B), OUT = X⊼Y).
+func (l *Library) XOR2(c *circuit.Circuit, name, a, b, out string) error {
+	ab := name + "_ab"
+	x := name + "_x"
+	y := name + "_y"
+	if err := l.NAND2(c, name+"_g1", a, b, ab); err != nil {
+		return err
+	}
+	if err := l.NAND2(c, name+"_g2", a, ab, x); err != nil {
+		return err
+	}
+	if err := l.NAND2(c, name+"_g3", b, ab, y); err != nil {
+		return err
+	}
+	return l.NAND2(c, name+"_g4", x, y, out)
+}
+
+// FullAdder adds a 1-bit full adder (sum, carry-out) built from two
+// XORs and the standard NAND carry tree — 11 NAND gates, 44
+// transistors, a realistic "large numbers of such devices" workload
+// for the fast model.
+func (l *Library) FullAdder(c *circuit.Circuit, name, a, b, cin, sum, cout string) error {
+	axb := name + "_axb"
+	if err := l.XOR2(c, name+"_x1", a, b, axb); err != nil {
+		return err
+	}
+	if err := l.XOR2(c, name+"_x2", axb, cin, sum); err != nil {
+		return err
+	}
+	// cout = (a·b) + cin·(a⊕b) = NAND(NAND(a,b), NAND(cin, a⊕b)).
+	n1 := name + "_n1"
+	n2 := name + "_n2"
+	if err := l.NAND2(c, name+"_g1", a, b, n1); err != nil {
+		return err
+	}
+	if err := l.NAND2(c, name+"_g2", cin, axb, n2); err != nil {
+		return err
+	}
+	return l.NAND2(c, name+"_g3", n1, n2, cout)
+}
+
+// RippleCarryAdder chains w full adders into a w-bit adder. Input
+// nodes a[i], b[i] and cin must exist (driven externally); sum[i] and
+// the final carry are returned as node names. At 44 transistors per
+// bit this is the paper's "complex circuits built from large numbers
+// of CNT devices" made concrete.
+func (l *Library) RippleCarryAdder(c *circuit.Circuit, name string, a, b []string, cin string) (sum []string, cout string, err error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return nil, "", fmt.Errorf("logic: adder needs equal non-empty operand widths (%d vs %d)", len(a), len(b))
+	}
+	carry := cin
+	sum = make([]string, len(a))
+	for i := range a {
+		sum[i] = fmt.Sprintf("%s_s%d", name, i)
+		next := fmt.Sprintf("%s_c%d", name, i+1)
+		if err := l.FullAdder(c, fmt.Sprintf("%s_fa%d", name, i), a[i], b[i], carry, sum[i], next); err != nil {
+			return nil, "", err
+		}
+		carry = next
+	}
+	return sum, carry, nil
+}
+
+// SRAMCell adds a 6T static memory cell: cross-coupled inverters at
+// nodes q/qb plus n-type access transistors to the bit lines, gated by
+// the word line. The canonical hold/read stability testbench for a
+// logic family.
+func (l *Library) SRAMCell(c *circuit.Circuit, name, q, qb, bl, blb, wl string) error {
+	if err := l.Inverter(c, name+"_i1", q, qb); err != nil {
+		return err
+	}
+	if err := l.Inverter(c, name+"_i2", qb, q); err != nil {
+		return err
+	}
+	if err := c.Add(l.fet(name+"_ax1", bl, wl, q, circuit.NType)); err != nil {
+		return err
+	}
+	return c.Add(l.fet(name+"_ax2", blb, wl, qb, circuit.NType))
+}

@@ -1,0 +1,212 @@
+package logic
+
+import (
+	"fmt"
+	"math"
+
+	"cntfet/internal/circuit"
+)
+
+// VTCMetrics are the static figures of merit read off a voltage
+// transfer characteristic.
+type VTCMetrics struct {
+	// VOH, VOL are the output levels at the sweep ends.
+	VOH, VOL float64
+	// VM is the switching threshold (VOUT crossing VDD/2).
+	VM float64
+	// Gain is the peak |dVOUT/dVIN|.
+	Gain float64
+	// VIL, VIH are the unity-gain input points; NML = VIL - VOL and
+	// NMH = VOH - VIH are the noise margins.
+	VIL, VIH, NML, NMH float64
+}
+
+// MeasureVTC sweeps the named input source and reads the static
+// metrics at the given output node.
+func MeasureVTC(c *circuit.Circuit, inSource, outNode string, vdd, step float64) (VTCMetrics, error) {
+	pts, err := c.DCSweep(inSource, 0, vdd, step, circuit.DCOptions{MaxIter: 300})
+	if err != nil {
+		return VTCMetrics{}, err
+	}
+	vin := make([]float64, len(pts))
+	vout := make([]float64, len(pts))
+	for i, p := range pts {
+		vin[i] = p.Value
+		vout[i] = p.Solution.Voltage(outNode)
+	}
+	m := VTCMetrics{VOH: vout[0], VOL: vout[len(vout)-1]}
+	m.VM = crossing(vin, vout, vdd/2, false)
+
+	// Slope scan for gain and unity-gain points.
+	haveVIL := false
+	for i := 1; i < len(vout); i++ {
+		slope := (vout[i] - vout[i-1]) / (vin[i] - vin[i-1])
+		if a := math.Abs(slope); a > m.Gain {
+			m.Gain = a
+		}
+		if !haveVIL && slope <= -1 {
+			m.VIL = vin[i-1]
+			haveVIL = true
+		}
+		if haveVIL && slope > -1 && m.VIH == 0 {
+			m.VIH = vin[i]
+		}
+	}
+	if m.VIH == 0 {
+		m.VIH = vdd
+	}
+	m.NML = m.VIL - m.VOL
+	m.NMH = m.VOH - m.VIH
+	return m, nil
+}
+
+// crossing interpolates the x where y crosses level; rising selects
+// the first upward crossing, otherwise the first downward one.
+func crossing(x, y []float64, level float64, rising bool) float64 {
+	for i := 1; i < len(y); i++ {
+		up := y[i-1] < level && y[i] >= level
+		down := y[i-1] > level && y[i] <= level
+		if (rising && up) || (!rising && down) {
+			f := (level - y[i-1]) / (y[i] - y[i-1])
+			return x[i-1] + f*(x[i]-x[i-1])
+		}
+	}
+	return math.NaN()
+}
+
+// PropagationDelay measures the 50%-to-50% delays between an input and
+// an output waveform from a transient run: tpHL is input-rise to
+// output-fall, tpLH input-fall to output-rise. Missing edges return
+// NaN.
+func PropagationDelay(sols []*circuit.Solution, inNode, outNode string, vdd float64) (tpHL, tpLH float64) {
+	ts := make([]float64, len(sols))
+	vi := make([]float64, len(sols))
+	vo := make([]float64, len(sols))
+	for i, s := range sols {
+		ts[i] = s.Time
+		vi[i] = s.Voltage(inNode)
+		vo[i] = s.Voltage(outNode)
+	}
+	mid := vdd / 2
+	inRise := crossing(ts, vi, mid, true)
+	outFall := crossing(ts, vo, mid, false)
+	inFall := crossing(ts, vi, mid, false)
+	outRise := crossing(ts, vo, mid, true)
+	return outFall - inRise, outRise - inFall
+}
+
+// OscillationFrequency estimates the fundamental frequency of a node
+// from its mid-rail crossings after a settling time. It needs at least
+// three crossings; fewer return an error.
+func OscillationFrequency(sols []*circuit.Solution, node string, vdd, settle float64) (float64, error) {
+	mid := vdd / 2
+	var crossings []float64
+	for i := 1; i < len(sols); i++ {
+		if sols[i].Time < settle {
+			continue
+		}
+		v0, v1 := sols[i-1].Voltage(node), sols[i].Voltage(node)
+		if v0 < mid && v1 >= mid { // rising crossings only: one per period
+			f := (mid - v0) / (v1 - v0)
+			crossings = append(crossings, sols[i-1].Time+f*(sols[i].Time-sols[i-1].Time))
+		}
+	}
+	if len(crossings) < 3 {
+		return 0, fmt.Errorf("logic: only %d rising crossings after settle; not oscillating", len(crossings))
+	}
+	// Average period over the observed cycles.
+	period := (crossings[len(crossings)-1] - crossings[0]) / float64(len(crossings)-1)
+	return 1 / period, nil
+}
+
+// SwitchingEnergy integrates the supply charge delivered over a
+// transient run and returns E = VDD·∫i_vdd dt in joules (positive for
+// energy drawn from the rail). For a single output transition of a
+// static gate this is approximately C_load·VDD² plus short-circuit
+// losses — the dynamic-power figure of merit.
+func SwitchingEnergy(sols []*circuit.Solution, vddSource string, vdd float64) float64 {
+	if len(sols) < 2 {
+		return 0
+	}
+	charge := 0.0
+	for i := 1; i < len(sols); i++ {
+		dt := sols[i].Time - sols[i-1].Time
+		// Branch current convention: current flows out of the + node
+		// through the external circuit, so the delivered current is
+		// the negated branch current.
+		i0 := -sols[i-1].BranchCurrent(vddSource)
+		i1 := -sols[i].BranchCurrent(vddSource)
+		charge += 0.5 * (i0 + i1) * dt
+	}
+	return vdd * charge
+}
+
+// HoldSNM measures the hold static noise margin of a cross-coupled
+// inverter pair built from this library: the side of the largest
+// square that fits between the two butterfly lobes, computed from the
+// inverter VTC by the standard 45°-rotation construction. Larger is
+// more robust; a bistable cell requires SNM > 0.
+func (l *Library) HoldSNM(step float64) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if step <= 0 {
+		step = 0.01
+	}
+	// One inverter VTC; symmetry gives the mirrored curve.
+	c := circuit.New()
+	if err := l.Supply(c, "VDD"); err != nil {
+		return 0, err
+	}
+	if err := c.Add(&circuit.VSource{Label: "VIN", P: "in", N: circuit.Ground, Wave: circuit.DC(0)}); err != nil {
+		return 0, err
+	}
+	if err := l.Inverter(c, "inv", "in", "out"); err != nil {
+		return 0, err
+	}
+	pts, err := c.DCSweep("VIN", 0, l.VDD, step, circuit.DCOptions{MaxIter: 300})
+	if err != nil {
+		return 0, err
+	}
+	vin := make([]float64, len(pts))
+	vout := make([]float64, len(pts))
+	for i, p := range pts {
+		vin[i] = p.Value
+		vout[i] = p.Solution.Voltage("out")
+	}
+	// In rotated coordinates u = (x+y)/√2, v = (y-x)/√2 the SNM square
+	// of lobe 1 has side √2·max over u of [v_fwd(u) - v_mirr(u)]
+	// ... equivalently: for each point of the forward curve, the
+	// diagonal separation to the mirrored curve. Sample the forward
+	// curve and interpolate the mirrored one (x=vout, y=vin).
+	mirrored := func(x float64) float64 {
+		// Mirrored curve: y such that x = VTC(y); VTC is monotone
+		// decreasing, so invert by scanning.
+		for i := 1; i < len(vout); i++ {
+			if (vout[i-1]-x)*(vout[i]-x) <= 0 {
+				f := 0.5
+				if vout[i] != vout[i-1] {
+					f = (x - vout[i-1]) / (vout[i] - vout[i-1])
+				}
+				return vin[i-1] + f*(vin[i]-vin[i-1])
+			}
+		}
+		if x > vout[0] {
+			return vin[0]
+		}
+		return vin[len(vin)-1]
+	}
+	best := 0.0
+	for i := range vin {
+		// Diagonal gap between forward point (vin, vout) and the
+		// mirrored curve along the -45° direction.
+		d := (vout[i] - mirrored(vin[i])) / 2
+		if d > best {
+			best = d
+		}
+	}
+	// The inscribed square side equals the max diagonal half-gap times
+	// √2... using the simplified estimator common in hand analysis:
+	// SNM ≈ max diagonal separation / √2.
+	return best * math.Sqrt2, nil
+}

@@ -1,0 +1,329 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"cntfet/internal/circuit"
+	"cntfet/internal/core"
+	"cntfet/internal/fettoy"
+)
+
+func (d *Deck) parseElement(line string) error {
+	f := strings.Fields(line)
+	name := f[0]
+	switch strings.ToUpper(name[:1]) {
+	case "R":
+		return d.twoTerminal(f, func(a, b string, v float64) circuit.Element {
+			return &circuit.Resistor{Label: name, A: a, B: b, Ohms: v}
+		})
+	case "C":
+		return d.twoTerminal(f, func(a, b string, v float64) circuit.Element {
+			return &circuit.Capacitor{Label: name, A: a, B: b, Farads: v}
+		})
+	case "L":
+		return d.twoTerminal(f, func(a, b string, v float64) circuit.Element {
+			return &circuit.Inductor{Label: name, A: a, B: b, Henrys: v}
+		})
+	case "V":
+		return d.source(f, func(p, n string, w circuit.Waveform) circuit.Element {
+			return &circuit.VSource{Label: name, P: p, N: n, Wave: w}
+		})
+	case "I":
+		return d.source(f, func(p, n string, w circuit.Waveform) circuit.Element {
+			return &circuit.ISource{Label: name, P: p, N: n, Wave: w}
+		})
+	case "D":
+		return d.diode(f)
+	case "M":
+		return d.cntfet(f)
+	case "G":
+		return d.controlled(f, func(p, n, cp, cn string, gain float64) circuit.Element {
+			return &circuit.VCCS{Label: name, P: p, N: n, CP: cp, CN: cn, Gain: gain}
+		})
+	case "E":
+		return d.controlled(f, func(p, n, cp, cn string, gain float64) circuit.Element {
+			return &circuit.VCVS{Label: name, P: p, N: n, CP: cp, CN: cn, Gain: gain}
+		})
+	default:
+		return fmt.Errorf("unknown element card %q", name)
+	}
+}
+
+func (d *Deck) controlled(f []string, build func(p, n, cp, cn string, gain float64) circuit.Element) error {
+	if len(f) != 6 {
+		return fmt.Errorf("%s needs P N CP CN GAIN", f[0])
+	}
+	gain, err := ParseValue(f[5])
+	if err != nil {
+		return err
+	}
+	return d.Circuit.Add(build(f[1], f[2], f[3], f[4], gain))
+}
+
+func (d *Deck) twoTerminal(f []string, build func(a, b string, v float64) circuit.Element) error {
+	if len(f) != 4 {
+		return fmt.Errorf("%s needs NODE NODE VALUE", f[0])
+	}
+	v, err := ParseValue(f[3])
+	if err != nil {
+		return err
+	}
+	if v <= 0 {
+		return fmt.Errorf("%s value must be positive, got %g", f[0], v)
+	}
+	return d.Circuit.Add(build(f[1], f[2], v))
+}
+
+func (d *Deck) source(f []string, build func(p, n string, w circuit.Waveform) circuit.Element) error {
+	if len(f) < 4 {
+		return fmt.Errorf("%s needs NODE NODE VALUE|WAVEFORM", f[0])
+	}
+	rest := strings.Join(f[3:], " ")
+	w, err := parseWaveform(rest)
+	if err != nil {
+		return fmt.Errorf("%s: %w", f[0], err)
+	}
+	return d.Circuit.Add(build(f[1], f[2], w))
+}
+
+func parseWaveform(s string) (circuit.Waveform, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.HasPrefix(low, "pulse"):
+		args, err := waveArgs(s, 5, 7)
+		if err != nil {
+			return nil, err
+		}
+		p := circuit.Pulse{V1: args[0], V2: args[1], Delay: args[2], Rise: args[3], Fall: args[4]}
+		if len(args) > 5 {
+			p.Width = args[5]
+		}
+		if len(args) > 6 {
+			p.Period = args[6]
+		}
+		return p, nil
+	case strings.HasPrefix(low, "sin"):
+		args, err := waveArgs(s, 3, 4)
+		if err != nil {
+			return nil, err
+		}
+		w := circuit.Sin{Offset: args[0], Amplitude: args[1], Freq: args[2]}
+		if len(args) > 3 {
+			w.Delay = args[3]
+		}
+		return w, nil
+	case strings.HasPrefix(low, "dc"):
+		v, err := ParseValue(strings.TrimSpace(s[2:]))
+		if err != nil {
+			return nil, err
+		}
+		return circuit.DC(v), nil
+	default:
+		v, err := ParseValue(s)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.DC(v), nil
+	}
+}
+
+func waveArgs(s string, minArgs, maxArgs int) ([]float64, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("waveform needs (...) args: %q", s)
+	}
+	fields := strings.Fields(strings.ReplaceAll(s[open+1:close], ",", " "))
+	if len(fields) < minArgs || len(fields) > maxArgs {
+		return nil, fmt.Errorf("waveform wants %d..%d args, got %d", minArgs, maxArgs, len(fields))
+	}
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (d *Deck) diode(f []string) error {
+	if len(f) < 3 {
+		return fmt.Errorf("%s needs ANODE CATHODE [is=..]", f[0])
+	}
+	el := &circuit.Diode{Label: f[0], A: f[1], B: f[2], Is: 1e-14}
+	for _, kv := range f[3:] {
+		k, v, err := splitKV(kv)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "is":
+			el.Is = v
+		case "n":
+			el.N = v
+		case "temp":
+			el.Temp = v
+		default:
+			return fmt.Errorf("unknown diode parameter %q", k)
+		}
+	}
+	return d.Circuit.Add(el)
+}
+
+func (d *Deck) cntfet(f []string) error {
+	if len(f) < 5 {
+		return fmt.Errorf("%s needs DRAIN GATE SOURCE MODEL [n|p] [tubes=N]", f[0])
+	}
+	card, ok := d.models[strings.ToLower(f[4])]
+	if !ok {
+		return fmt.Errorf("%s references undefined model %q", f[0], f[4])
+	}
+	el := &circuit.CNTFET{Label: f[0], D: f[1], G: f[2], S: f[3]}
+	for _, tok := range f[5:] {
+		low := strings.ToLower(tok)
+		switch {
+		case low == "n":
+			el.Pol = circuit.NType
+		case low == "p":
+			el.Pol = circuit.PType
+		case strings.HasPrefix(low, "tubes="):
+			v, err := ParseValue(low[len("tubes="):])
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad tubes in %q", tok)
+			}
+			el.Tubes = int(v)
+		default:
+			return fmt.Errorf("unknown transistor option %q", tok)
+		}
+	}
+	m, err := card.build()
+	if err != nil {
+		return fmt.Errorf("%s: building model %q: %w", f[0], card.name, err)
+	}
+	el.Model = m
+	return d.Circuit.Add(el)
+}
+
+func (d *Deck) parseModel(line string) error {
+	f := strings.Fields(line)
+	if len(f) < 3 || !strings.EqualFold(f[2], "cnt") {
+		return fmt.Errorf(".model needs NAME cnt [params], got %q", line)
+	}
+	card := &modelCard{name: strings.ToLower(f[1]), level: 2, dev: fettoy.Default()}
+	for _, kv := range f[3:] {
+		k, v, err := splitKVString(kv)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "level":
+			n, err := ParseValue(v)
+			if err != nil || n != 0 && n != 1 && n != 2 {
+				return fmt.Errorf("level must be 0 (reference), 1 or 2, got %q", v)
+			}
+			card.level = int(n)
+		case "d":
+			if card.dev.Diameter, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "tox":
+			if card.dev.Tox, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "kappa":
+			if card.dev.Kappa, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "ef":
+			if card.dev.EF, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "temp":
+			if card.dev.T, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "alphag":
+			if card.dev.AlphaG, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "alphad":
+			if card.dev.AlphaD, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "subbands":
+			n, err := ParseValue(v)
+			if err != nil {
+				return err
+			}
+			card.dev.Subbands = int(n)
+		case "trans":
+			if card.dev.Transmission, err = ParseValue(v); err != nil {
+				return err
+			}
+		case "geometry":
+			switch strings.ToLower(v) {
+			case "coaxial":
+				card.dev.Geometry = fettoy.Coaxial
+			case "planar":
+				card.dev.Geometry = fettoy.Planar
+			default:
+				return fmt.Errorf("unknown geometry %q", v)
+			}
+		default:
+			return fmt.Errorf("unknown model parameter %q", k)
+		}
+	}
+	if _, dup := d.models[card.name]; dup {
+		return fmt.Errorf("duplicate model %q", card.name)
+	}
+	d.models[card.name] = card
+	return nil
+}
+
+// build constructs (once) the transistor model behind a card.
+func (c *modelCard) build() (circuit.TransistorModel, error) {
+	if c.built != nil {
+		return c.built, nil
+	}
+	ref, err := fettoy.New(c.dev)
+	if err != nil {
+		return nil, err
+	}
+	switch c.level {
+	case 0:
+		c.built = ref
+	case 1:
+		m, err := core.Model1(ref)
+		if err != nil {
+			return nil, err
+		}
+		c.built = m
+	default:
+		m, err := core.Model2(ref)
+		if err != nil {
+			return nil, err
+		}
+		c.built = m
+	}
+	return c.built, nil
+}
+
+func splitKV(kv string) (string, float64, error) {
+	k, vs, err := splitKVString(kv)
+	if err != nil {
+		return "", 0, err
+	}
+	v, err := ParseValue(vs)
+	return k, v, err
+}
+
+func splitKVString(kv string) (string, string, error) {
+	i := strings.Index(kv, "=")
+	if i <= 0 || i == len(kv)-1 {
+		return "", "", fmt.Errorf("bad key=value %q", kv)
+	}
+	return strings.ToLower(kv[:i]), kv[i+1:], nil
+}

@@ -1,0 +1,269 @@
+// Package netlist parses a SPICE-flavoured netlist into a circuit and
+// its analyses, so CNT circuits can be described as decks instead of Go
+// code. The dialect is the familiar one:
+//
+//   - CNT complementary inverter
+//     .model fast cnt level=2 d=1n tox=1.5n kappa=25 ef=-0.32 temp=300
+//     VDD vdd 0 0.6
+//     VIN in 0 PULSE(0 0.6 0 10p 10p 5n 10n)
+//     MP  out in vdd fast p
+//     MN  out in 0   fast n
+//     CL  out 0 1f
+//     .dc VIN 0 0.6 0.01
+//     .tran 10p 20n
+//     .print v(out) i(VDD)
+//     .end
+//
+// Element cards: R/C/V/I (two nodes + value or waveform), D (two nodes
+// + is=...), M (drain gate source + model name + optional polarity and
+// tubes=N). Model cards: .model <name> cnt with level=1 (paper Model
+// 1), level=2 (Model 2) or level=0 (reference theory), plus device
+// parameters d, tox, kappa, ef, temp, alphag, alphad, subbands,
+// geometry=coaxial|planar. Analyses: .op, .dc, .tran (with an optional
+// trailing "trap"), outputs: .print.
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cntfet/internal/circuit"
+	"cntfet/internal/fettoy"
+)
+
+// Analysis is one requested simulation.
+type Analysis struct {
+	Kind string // "op", "dc", "tran", "ac"
+	// DC sweep fields (Source doubles as the AC excitation source).
+	Source         string
+	From, To, Step float64
+	// Transient fields; Adaptive selects LTE-controlled stepping with
+	// TStep as the minimum step.
+	TStep, TStop float64
+	Trapezoidal  bool
+	Adaptive     bool
+	// AC fields: points per decade over [FStart, FStop].
+	FStart, FStop float64
+	PerDecade     int
+}
+
+// Probe is one .print output.
+type Probe struct {
+	Kind string // "v" or "i"
+	Name string // node or source name
+}
+
+// Deck is a parsed netlist.
+type Deck struct {
+	Title    string
+	Circuit  *circuit.Circuit
+	Analyses []Analysis
+	Probes   []Probe
+
+	models map[string]*modelCard
+}
+
+type modelCard struct {
+	name  string
+	level int
+	dev   fettoy.Device
+	built circuit.TransistorModel
+}
+
+// Parse reads a netlist deck from source text.
+func Parse(src string) (*Deck, error) {
+	d := &Deck{Circuit: circuit.New(), models: map[string]*modelCard{}}
+	lines := strings.Split(src, "\n")
+	// SPICE convention: the first line is always the title.
+	start := 0
+	if len(lines) > 0 {
+		t := strings.TrimSpace(lines[0])
+		d.Title = strings.TrimSpace(strings.TrimPrefix(t, "*"))
+		start = 1
+	}
+	// Model cards first so element cards can reference them in any
+	// order.
+	for ln := start; ln < len(lines); ln++ {
+		line := clean(lines[ln])
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(line), ".model") {
+			if err := d.parseModel(line); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %w", ln+1, err)
+			}
+		}
+	}
+	for ln := start; ln < len(lines); ln++ {
+		line := clean(lines[ln])
+		if line == "" || strings.HasPrefix(strings.ToLower(line), ".model") {
+			continue
+		}
+		if err := d.parseCard(line); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", ln+1, err)
+		}
+	}
+	return d, nil
+}
+
+func clean(line string) string {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "*") {
+		return ""
+	}
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	return line
+}
+
+func (d *Deck) parseCard(line string) error {
+	low := strings.ToLower(line)
+	switch {
+	case strings.HasPrefix(low, ".end"):
+		return nil
+	case strings.HasPrefix(low, ".op"):
+		d.Analyses = append(d.Analyses, Analysis{Kind: "op"})
+		return nil
+	case strings.HasPrefix(low, ".dc"):
+		return d.parseDC(line)
+	case strings.HasPrefix(low, ".ac"):
+		return d.parseAC(line)
+	case strings.HasPrefix(low, ".tran"):
+		return d.parseTran(line)
+	case strings.HasPrefix(low, ".print"):
+		return d.parsePrint(line)
+	case strings.HasPrefix(low, "."):
+		return fmt.Errorf("unknown card %q", strings.Fields(line)[0])
+	}
+	return d.parseElement(line)
+}
+
+func (d *Deck) parseDC(line string) error {
+	f := strings.Fields(line)
+	if len(f) != 5 {
+		return fmt.Errorf(".dc needs SOURCE FROM TO STEP, got %q", line)
+	}
+	from, err1 := ParseValue(f[2])
+	to, err2 := ParseValue(f[3])
+	step, err3 := ParseValue(f[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf(".dc values in %q", line)
+	}
+	d.Analyses = append(d.Analyses, Analysis{Kind: "dc", Source: f[1], From: from, To: to, Step: step})
+	return nil
+}
+
+// parseAC handles ".ac SOURCE dec N FSTART FSTOP": small-signal sweep
+// exciting SOURCE with a unit phasor.
+func (d *Deck) parseAC(line string) error {
+	f := strings.Fields(line)
+	if len(f) != 6 || !strings.EqualFold(f[2], "dec") {
+		return fmt.Errorf(".ac needs SOURCE dec N FSTART FSTOP, got %q", line)
+	}
+	n, err1 := ParseValue(f[3])
+	fstart, err2 := ParseValue(f[4])
+	fstop, err3 := ParseValue(f[5])
+	if err1 != nil || err2 != nil || err3 != nil || n < 1 {
+		return fmt.Errorf(".ac values in %q", line)
+	}
+	d.Analyses = append(d.Analyses, Analysis{
+		Kind: "ac", Source: f[1], PerDecade: int(n), FStart: fstart, FStop: fstop,
+	})
+	return nil
+}
+
+func (d *Deck) parseTran(line string) error {
+	f := strings.Fields(line)
+	if len(f) < 3 || len(f) > 4 {
+		return fmt.Errorf(".tran needs STEP STOP [trap], got %q", line)
+	}
+	step, err1 := ParseValue(f[1])
+	stop, err2 := ParseValue(f[2])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf(".tran values in %q", line)
+	}
+	a := Analysis{Kind: "tran", TStep: step, TStop: stop}
+	if len(f) == 4 {
+		switch {
+		case strings.EqualFold(f[3], "trap"):
+			a.Trapezoidal = true
+		case strings.EqualFold(f[3], "adaptive"):
+			a.Adaptive = true
+		default:
+			return fmt.Errorf("unknown .tran option %q", f[3])
+		}
+	}
+	d.Analyses = append(d.Analyses, a)
+	return nil
+}
+
+func (d *Deck) parsePrint(line string) error {
+	f := strings.Fields(line)
+	for _, tok := range f[1:] {
+		low := strings.ToLower(tok)
+		switch {
+		case strings.HasPrefix(low, "v(") && strings.HasSuffix(low, ")"):
+			d.Probes = append(d.Probes, Probe{Kind: "v", Name: tok[2 : len(tok)-1]})
+		case strings.HasPrefix(low, "i(") && strings.HasSuffix(low, ")"):
+			d.Probes = append(d.Probes, Probe{Kind: "i", Name: tok[2 : len(tok)-1]})
+		default:
+			return fmt.Errorf("bad probe %q (want v(node) or i(vsource))", tok)
+		}
+	}
+	return nil
+}
+
+// ParseValue parses a SPICE number with magnitude suffix (f p n u m k
+// meg g t; case-insensitive; trailing unit letters after the suffix
+// are ignored, so "10pF" works).
+func ParseValue(s string) (float64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	if low == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	// Split the numeric prefix.
+	end := 0
+	for end < len(low) {
+		ch := low[end]
+		if ch >= '0' && ch <= '9' || ch == '.' || ch == '+' || ch == '-' ||
+			ch == 'e' && end > 0 && isDigitOrDot(low[end-1]) {
+			end++
+			continue
+		}
+		break
+	}
+	num, err := strconv.ParseFloat(low[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	suffix := low[end:]
+	mult := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case strings.HasPrefix(suffix, "f"):
+		mult = 1e-15
+	case strings.HasPrefix(suffix, "p"):
+		mult = 1e-12
+	case strings.HasPrefix(suffix, "n"):
+		mult = 1e-9
+	case strings.HasPrefix(suffix, "u"):
+		mult = 1e-6
+	case strings.HasPrefix(suffix, "m"):
+		mult = 1e-3
+	case strings.HasPrefix(suffix, "k"):
+		mult = 1e3
+	case strings.HasPrefix(suffix, "g"):
+		mult = 1e9
+	case strings.HasPrefix(suffix, "t"):
+		mult = 1e12
+	default:
+		return 0, fmt.Errorf("unknown suffix %q in %q", suffix, s)
+	}
+	return num * mult, nil
+}
+
+func isDigitOrDot(b byte) bool { return b >= '0' && b <= '9' || b == '.' }

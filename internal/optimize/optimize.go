@@ -1,0 +1,153 @@
+// Package optimize contains the derivative-free minimisers used to tune
+// the piecewise-model breakpoints: golden-section search in one
+// dimension and Nelder–Mead simplex in several. The paper chooses its
+// region boundaries "to minimise the RMS deviation from the theoretical
+// curves"; these routines are that choice made executable.
+package optimize
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrMaxIter is returned when an iteration budget is exhausted before
+// the tolerance is met. The best point found so far is still returned.
+var ErrMaxIter = errors.New("optimize: iteration limit reached")
+
+const invPhi = 0.6180339887498949 // 1/golden ratio
+
+// GoldenSection minimises a unimodal f on [a, b] to the absolute
+// x-tolerance tol. It returns the abscissa of the minimum.
+func GoldenSection(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < maxIter; i++ {
+		if b-a < tol {
+			return 0.5 * (a + b), nil
+		}
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b), ErrMaxIter
+}
+
+// NelderMeadOptions configures the simplex search.
+type NelderMeadOptions struct {
+	// InitialStep sets the simplex edge length per coordinate; zero
+	// means 5% of |x0_i| (or 0.01 when x0_i is zero).
+	InitialStep []float64
+	// FTol stops when the simplex function-value spread falls below it.
+	FTol float64
+	// MaxIter bounds the iteration count.
+	MaxIter int
+}
+
+// NelderMead minimises f from the starting point x0 with the
+// Nelder–Mead simplex algorithm (reflection 1, expansion 2,
+// contraction 0.5, shrink 0.5). It returns the best point found.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, errors.New("optimize: empty starting point")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 400 * n
+	}
+	if opt.FTol <= 0 {
+		opt.FTol = 1e-12
+	}
+	step := func(i int) float64 {
+		if i < len(opt.InitialStep) && opt.InitialStep[i] != 0 {
+			return opt.InitialStep[i]
+		}
+		if x0[i] != 0 {
+			return 0.05 * math.Abs(x0[i])
+		}
+		return 0.01
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			x[i-1] += step(i - 1)
+		}
+		simplex[i] = vertex{x: x, f: f(x)}
+	}
+	order := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	centroid := make([]float64, n)
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		order()
+		best, worst := simplex[0], simplex[n]
+		if math.Abs(worst.f-best.f) <= opt.FTol*(math.Abs(best.f)+opt.FTol) {
+			return best.x, best.f, nil
+		}
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j] / float64(n)
+			}
+		}
+		at := func(coef float64) vertex {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = centroid[j] + coef*(centroid[j]-worst.x[j])
+			}
+			return vertex{x: x, f: f(x)}
+		}
+		refl := at(1)
+		switch {
+		case refl.f < best.f:
+			if exp := at(2); exp.f < refl.f {
+				simplex[n] = exp
+			} else {
+				simplex[n] = refl
+			}
+		case refl.f < simplex[n-1].f:
+			simplex[n] = refl
+		default:
+			contr := at(-0.5)
+			if contr.f < worst.f {
+				simplex[n] = contr
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	order()
+	return simplex[0].x, simplex[0].f, ErrMaxIter
+}

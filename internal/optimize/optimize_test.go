@@ -1,0 +1,109 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenSectionParabola(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.7) * (x - 1.7) }
+	x, err := GoldenSection(f, -10, 10, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.7) > 1e-8 {
+		t.Fatalf("min at %g", x)
+	}
+}
+
+func TestGoldenSectionReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x + 2) }
+	x, err := GoldenSection(f, 5, -5, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x+2) > 1e-7 {
+		t.Fatalf("min at %g", x)
+	}
+}
+
+func TestGoldenSectionNonSmooth(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 0.123) }
+	x, err := GoldenSection(f, 0, 1, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.123) > 1e-8 {
+		t.Fatalf("min at %g", x)
+	}
+}
+
+func TestGoldenSectionIterationLimit(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	if _, err := GoldenSection(f, -1e9, 1e9, 1e-15, 3); err != ErrMaxIter {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fx, err := NelderMead(rosen, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000, FTol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Fatalf("min at %v (f=%g)", x, fx)
+	}
+}
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		s := 0.0
+		for i, v := range x {
+			d := v - float64(i)
+			s += d * d
+		}
+		return s
+	}
+	x, _, err := NelderMead(f, []float64{5, 5, 5}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if math.Abs(v-float64(i)) > 1e-4 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestNelderMeadCustomSteps(t *testing.T) {
+	f := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	x, _, err := NelderMead(f, []float64{0}, NelderMeadOptions{InitialStep: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-5 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("expected error for empty start")
+	}
+}
+
+func TestNelderMeadIterationLimitReturnsBest(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	x, _, err := NelderMead(f, []float64{100}, NelderMeadOptions{MaxIter: 3})
+	if err != ErrMaxIter {
+		t.Fatalf("err = %v", err)
+	}
+	if len(x) != 1 {
+		t.Fatal("best point missing")
+	}
+}

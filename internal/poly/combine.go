@@ -1,0 +1,56 @@
+package poly
+
+import "sort"
+
+// AddPiecewise returns the piecewise polynomial a + b. The result's
+// breakpoints are the merged breakpoint sets; on every interval the
+// piece is the sum of the covering pieces of a and b. Degrees add
+// nothing: deg(sum) = max(deg a_i, deg b_j), which is what keeps the
+// paper's combined source+drain charge solvable in closed form.
+func AddPiecewise(a, b Piecewise) Piecewise {
+	breaks := mergeBreaks(a.Breaks, b.Breaks)
+	pieces := make([]Poly, len(breaks)+1)
+	for i := range pieces {
+		// A representative point inside interval i selects the
+		// covering pieces of a and b.
+		x := intervalPoint(breaks, i)
+		pieces[i] = a.Pieces[a.PieceIndex(x)].Add(b.Pieces[b.PieceIndex(x)])
+	}
+	return Piecewise{Breaks: breaks, Pieces: pieces}
+}
+
+// mergeBreaks merges two ascending break lists, dropping exact and
+// near-coincident duplicates.
+func mergeBreaks(x, y []float64) []float64 {
+	all := make([]float64, 0, len(x)+len(y))
+	all = append(all, x...)
+	all = append(all, y...)
+	sort.Float64s(all)
+	out := all[:0]
+	for _, v := range all {
+		if len(out) == 0 || v-out[len(out)-1] > 1e-12 {
+			out = append(out, v)
+		}
+	}
+	return append([]float64(nil), out...)
+}
+
+// intervalPoint returns a point strictly inside interval i of the break
+// grid (piece 0 is (-inf, b0], the last piece (b_last, +inf)). For
+// finite intervals it returns the midpoint; for the two unbounded ends
+// a point one unit beyond the nearest break. Interval membership at the
+// closed right endpoint is honoured by choosing points away from
+// boundaries.
+func intervalPoint(breaks []float64, i int) float64 {
+	n := len(breaks)
+	switch {
+	case n == 0:
+		return 0
+	case i == 0:
+		return breaks[0] - 1
+	case i == n:
+		return breaks[n-1] + 1
+	default:
+		return 0.5 * (breaks[i-1] + breaks[i])
+	}
+}

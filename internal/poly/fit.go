@@ -1,0 +1,285 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+
+	"cntfet/internal/linalg"
+)
+
+// Fit returns the degree-deg polynomial least-squares fit to the sample
+// points (xs, ys) using Householder QR on the Vandermonde matrix.
+func Fit(xs, ys []float64, deg int) (Poly, error) {
+	if len(xs) != len(ys) {
+		return Poly{}, fmt.Errorf("poly: Fit sample length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < deg+1 {
+		return Poly{}, fmt.Errorf("poly: %d samples cannot determine degree %d", len(xs), deg)
+	}
+	a := linalg.NewMatrix(len(xs), deg+1)
+	for i, x := range xs {
+		v := 1.0
+		for j := 0; j <= deg; j++ {
+			a.Set(i, j, v)
+			v *= x
+		}
+	}
+	c, _, err := linalg.LeastSquares(a, ys)
+	if err != nil {
+		return Poly{}, err
+	}
+	return Poly{Coef: c}, nil
+}
+
+// PieceSpec describes one piece of a piecewise fit: either a free
+// polynomial of the given degree, or a fixed polynomial excluded from
+// the optimisation (the paper's "zero" region is Fixed = the zero
+// polynomial).
+type PieceSpec struct {
+	Degree int
+	Fixed  *Poly
+}
+
+// FitPiecewise jointly fits a piecewise polynomial to the samples
+// (xs, ys) given interior breakpoints and per-piece specifications,
+// enforcing continuity of derivatives up to order `continuity` at every
+// breakpoint (the paper requires continuity of value and first
+// derivative: continuity = 1).
+//
+// The fit solves an equality-constrained linear least-squares problem
+// via the KKT system
+//
+//	| 2·AᵀA  Cᵀ | |c|   |2·Aᵀy|
+//	|  C     0  | |λ| = |  d  |
+//
+// where A is the block Vandermonde design matrix (each sample row only
+// touches the coefficients of the piece containing it) and C encodes
+// the continuity constraints plus the matching conditions against fixed
+// pieces.
+func FitPiecewise(breaks []float64, specs []PieceSpec, xs, ys []float64, continuity int) (Piecewise, error) {
+	orders := make([]int, len(breaks))
+	for i := range orders {
+		orders[i] = continuity
+	}
+	return FitPiecewiseOrders(breaks, specs, xs, ys, orders)
+}
+
+// FitPiecewiseOrders is FitPiecewise with an independent continuity
+// order per breakpoint (orders[i] applies at breaks[i]; 0 = value only,
+// 1 = value and first derivative). The paper's models use C¹ at joins
+// between free polynomials but only C⁰ where the curve enters the zero
+// region — full C¹ against the zero piece would leave Model 1 a single
+// degree of freedom.
+func FitPiecewiseOrders(breaks []float64, specs []PieceSpec, xs, ys []float64, orders []int) (Piecewise, error) {
+	return FitPiecewiseWeighted(breaks, specs, xs, ys, nil, orders)
+}
+
+// FitPiecewiseWeighted is FitPiecewiseOrders with per-sample weights
+// (nil means uniform): it minimises Σ w_i·(p(x_i) − y_i)². Weights let
+// the charge fit trade absolute accuracy in the high-charge region for
+// relative accuracy near the knee, where the subthreshold drain
+// current is exponentially sensitive.
+func FitPiecewiseWeighted(breaks []float64, specs []PieceSpec, xs, ys, weights []float64, orders []int) (Piecewise, error) {
+	if weights != nil && len(weights) != len(xs) {
+		return Piecewise{}, fmt.Errorf("poly: %d weights for %d samples", len(weights), len(xs))
+	}
+	if len(specs) != len(breaks)+1 {
+		return Piecewise{}, fmt.Errorf("poly: %d specs need %d breaks, got %d", len(specs), len(specs)-1, len(breaks))
+	}
+	if len(orders) != len(breaks) {
+		return Piecewise{}, fmt.Errorf("poly: %d continuity orders for %d breaks", len(orders), len(breaks))
+	}
+	if len(xs) != len(ys) {
+		return Piecewise{}, fmt.Errorf("poly: sample length mismatch")
+	}
+	maxOrder := 0
+	for i, o := range orders {
+		if o < 0 {
+			orders[i] = 0
+		}
+		if o > maxOrder {
+			maxOrder = o
+		}
+	}
+	for i := 1; i < len(breaks); i++ {
+		if !(breaks[i] > breaks[i-1]) {
+			return Piecewise{}, fmt.Errorf("poly: breaks not strictly increasing")
+		}
+	}
+
+	// Coefficient layout: offset[i] is the first unknown of piece i
+	// (fixed pieces own no unknowns).
+	nPieces := len(specs)
+	offset := make([]int, nPieces)
+	nUnknown := 0
+	for i, s := range specs {
+		offset[i] = nUnknown
+		if s.Fixed == nil {
+			if s.Degree < 0 {
+				return Piecewise{}, fmt.Errorf("poly: piece %d has negative degree", i)
+			}
+			nUnknown += s.Degree + 1
+		}
+	}
+	if nUnknown == 0 {
+		// Everything fixed: assemble and verify the requested continuity.
+		pieces := make([]Poly, nPieces)
+		for i, s := range specs {
+			pieces[i] = *s.Fixed
+		}
+		pw, err := NewPiecewise(breaks, pieces)
+		if err != nil {
+			return Piecewise{}, err
+		}
+		c0, c1 := pw.ContinuityError()
+		if c0 > 1e-9 || (maxOrder >= 1 && c1 > 1e-9) {
+			return Piecewise{}, fmt.Errorf("poly: fixed pieces violate continuity (c0=%g, c1=%g)", c0, c1)
+		}
+		return pw, nil
+	}
+
+	pw := Piecewise{Breaks: breaks} // for PieceIndex routing only
+
+	// Design matrix and target.
+	var rows int
+	for _, x := range xs {
+		if specs[pw.PieceIndex(x)].Fixed == nil {
+			rows++
+		}
+	}
+	if rows < nUnknown {
+		return Piecewise{}, fmt.Errorf("poly: %d usable samples cannot determine %d coefficients", rows, nUnknown)
+	}
+	a := linalg.NewMatrix(rows, nUnknown)
+	y := make([]float64, rows)
+	r := 0
+	for k, x := range xs {
+		pi := pw.PieceIndex(x)
+		if specs[pi].Fixed != nil {
+			continue
+		}
+		w := 1.0
+		if weights != nil {
+			if weights[k] < 0 {
+				return Piecewise{}, fmt.Errorf("poly: negative weight at sample %d", k)
+			}
+			w = math.Sqrt(weights[k])
+		}
+		v := w
+		for j := 0; j <= specs[pi].Degree; j++ {
+			a.Set(r, offset[pi]+j, v)
+			v *= x
+		}
+		y[r] = w * ys[k]
+		r++
+	}
+
+	// Constraint rows: for each break b between pieces i, i+1 and each
+	// derivative order ord = 0..continuity:
+	//   p_i^(ord)(b) - p_{i+1}^(ord)(b) = 0
+	// with fixed-piece contributions moved to the right-hand side.
+	type conRow struct {
+		cols []int
+		vals []float64
+		rhs  float64
+	}
+	var cons []conRow
+	for bi, b := range breaks {
+		left, right := bi, bi+1
+		for ord := 0; ord <= orders[bi]; ord++ {
+			var c conRow
+			addSide := func(pi int, sign float64) {
+				s := specs[pi]
+				if s.Fixed != nil {
+					c.rhs -= sign * nthDerivAt(*s.Fixed, ord, b)
+					return
+				}
+				for j := ord; j <= s.Degree; j++ {
+					c.cols = append(c.cols, offset[pi]+j)
+					c.vals = append(c.vals, sign*derivMonomial(j, ord, b))
+				}
+			}
+			addSide(left, 1)
+			addSide(right, -1)
+			if len(c.cols) == 0 {
+				// Both sides fixed: verify consistency instead.
+				if math.Abs(c.rhs) > 1e-9 {
+					return Piecewise{}, fmt.Errorf("poly: fixed pieces violate continuity at break %g", b)
+				}
+				continue
+			}
+			cons = append(cons, c)
+		}
+	}
+
+	// Assemble and solve the KKT system.
+	nc := len(cons)
+	n := nUnknown + nc
+	kkt := linalg.NewMatrix(n, n)
+	rhs := make([]float64, n)
+	// 2*A^T*A block and 2*A^T*y.
+	ata := a.T().Mul(a)
+	aty := a.T().MulVec(y)
+	for i := 0; i < nUnknown; i++ {
+		for j := 0; j < nUnknown; j++ {
+			kkt.Set(i, j, 2*ata.At(i, j))
+		}
+		rhs[i] = 2 * aty[i]
+	}
+	for ci, c := range cons {
+		for k, col := range c.cols {
+			kkt.Set(nUnknown+ci, col, c.vals[k])
+			kkt.Set(col, nUnknown+ci, c.vals[k])
+		}
+		rhs[nUnknown+ci] = c.rhs
+	}
+	sol, err := linalg.SolveLU(kkt, rhs)
+	if err != nil {
+		return Piecewise{}, fmt.Errorf("poly: constrained fit: %w", err)
+	}
+
+	pieces := make([]Poly, nPieces)
+	for i, s := range specs {
+		if s.Fixed != nil {
+			pieces[i] = *s.Fixed
+			continue
+		}
+		coef := make([]float64, s.Degree+1)
+		copy(coef, sol[offset[i]:offset[i]+s.Degree+1])
+		pieces[i] = New(coef...)
+	}
+	return NewPiecewise(breaks, pieces)
+}
+
+// derivMonomial returns d^ord/dx^ord [x^j] evaluated at x.
+func derivMonomial(j, ord int, x float64) float64 {
+	if ord > j {
+		return 0
+	}
+	f := 1.0
+	for k := 0; k < ord; k++ {
+		f *= float64(j - k)
+	}
+	return f * math.Pow(x, float64(j-ord))
+}
+
+// nthDerivAt evaluates the ord-th derivative of p at x.
+func nthDerivAt(p Poly, ord int, x float64) float64 {
+	for k := 0; k < ord; k++ {
+		p = p.Deriv()
+	}
+	return p.At(x)
+}
+
+// RMS returns the root-mean-square deviation of f from the samples.
+func RMS(f func(float64) float64, xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, x := range xs {
+		d := f(x) - ys[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,279 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTrimsTrailingZeros(t *testing.T) {
+	p := New(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", p.Degree())
+	}
+	if !New(0, 0).IsZero() {
+		t.Fatal("all-zero coefficients should trim to the zero polynomial")
+	}
+}
+
+func TestAtHorner(t *testing.T) {
+	p := New(1, -2, 3) // 1 - 2x + 3x^2
+	if got := p.At(2); got != 9 {
+		t.Fatalf("p(2) = %g, want 9", got)
+	}
+	if got := p.At(0); got != 1 {
+		t.Fatalf("p(0) = %g, want 1", got)
+	}
+	if (Poly{}).At(5) != 0 {
+		t.Fatal("zero polynomial must evaluate to 0")
+	}
+}
+
+func TestDeriv(t *testing.T) {
+	p := New(5, 1, 2, 4) // 5 + x + 2x^2 + 4x^3
+	d := p.Deriv()
+	want := New(1, 4, 12)
+	if len(d.Coef) != len(want.Coef) {
+		t.Fatalf("deriv = %v", d.Coef)
+	}
+	for i := range want.Coef {
+		if d.Coef[i] != want.Coef[i] {
+			t.Fatalf("deriv = %v, want %v", d.Coef, want.Coef)
+		}
+	}
+	if !New(7).Deriv().IsZero() {
+		t.Fatal("derivative of a constant must be zero")
+	}
+}
+
+func TestIntegInvertsDerivUpToConstant(t *testing.T) {
+	p := New(3, -1, 0.5, 2)
+	back := p.Deriv().Integ(p.Coef[0])
+	for _, x := range []float64{-2, -0.5, 0, 1, 3.7} {
+		if math.Abs(back.At(x)-p.At(x)) > 1e-12 {
+			t.Fatalf("Integ(Deriv) differs at %g", x)
+		}
+	}
+}
+
+func TestAddScaleMul(t *testing.T) {
+	p := New(1, 1)  // 1+x
+	q := New(-1, 1) // -1+x
+	s := p.Add(q)   // 2x
+	if s.Degree() != 1 || s.Coef[1] != 2 || s.Coef[0] != 0 {
+		t.Fatalf("Add = %v", s.Coef)
+	}
+	m := p.Mul(q) // x^2-1
+	if m.Degree() != 2 || m.Coef[0] != -1 || m.Coef[1] != 0 || m.Coef[2] != 1 {
+		t.Fatalf("Mul = %v", m.Coef)
+	}
+	if k := p.Scale(3); k.Coef[0] != 3 || k.Coef[1] != 3 {
+		t.Fatalf("Scale = %v", k.Coef)
+	}
+	if !p.Add(p.Scale(-1)).IsZero() {
+		t.Fatal("p - p should be zero")
+	}
+}
+
+func TestShiftMatchesDirectEvaluation(t *testing.T) {
+	p := New(2, -1, 0.5, 3)
+	for _, h := range []float64{-1.5, 0, 0.32, 2} {
+		q := p.Shift(h)
+		for _, x := range []float64{-2, -0.3, 0, 1, 4} {
+			if math.Abs(q.At(x)-p.At(x+h)) > 1e-10*(1+math.Abs(p.At(x+h))) {
+				t.Fatalf("Shift(%g): q(%g)=%g, p(%g)=%g", h, x, q.At(x), x+h, p.At(x+h))
+			}
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if s := (Poly{}).String(); s != "0" {
+		t.Fatalf("zero renders as %q", s)
+	}
+	if s := New(1, -2, 3).String(); s != "1 - 2*x + 3*x^2" {
+		t.Fatalf("render %q", s)
+	}
+}
+
+// Property: Shift(h) then Shift(-h) returns to the start.
+func TestShiftRoundTripProperty(t *testing.T) {
+	f := func(c [4]float64, h float64) bool {
+		if math.IsNaN(h) || math.Abs(h) > 1e3 {
+			return true
+		}
+		for _, v := range c {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		p := New(c[0], c[1], c[2], c[3])
+		q := p.Shift(h).Shift(-h)
+		for _, x := range []float64{-1, 0, 1} {
+			scale := 1 + math.Abs(p.At(x)) + math.Abs(h*h*h)*1e3
+			if math.Abs(q.At(x)-p.At(x)) > 1e-6*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearRoot(t *testing.T) {
+	r := RealRoots(New(-6, 2)) // 2x-6
+	if len(r) != 1 || r[0] != 3 {
+		t.Fatalf("roots = %v", r)
+	}
+}
+
+func TestQuadraticRootsAllCases(t *testing.T) {
+	// Two roots.
+	r := RealRoots(New(-2, 1, 1)) // (x+2)(x-1)
+	if len(r) != 2 || math.Abs(r[0]+2) > 1e-12 || math.Abs(r[1]-1) > 1e-12 {
+		t.Fatalf("roots = %v", r)
+	}
+	// Double root.
+	r = RealRoots(New(4, -4, 1)) // (x-2)^2
+	if len(r) != 1 || math.Abs(r[0]-2) > 1e-12 {
+		t.Fatalf("double root = %v", r)
+	}
+	// No real roots.
+	if r = RealRoots(New(1, 0, 1)); len(r) != 0 {
+		t.Fatalf("x^2+1 roots = %v", r)
+	}
+}
+
+func TestQuadraticCancellationSafety(t *testing.T) {
+	// x^2 - 1e8*x + 1 has roots ~1e8 and ~1e-8; the naive formula loses
+	// the small one entirely.
+	r := RealRoots(New(1, -1e8, 1))
+	if len(r) != 2 {
+		t.Fatalf("roots = %v", r)
+	}
+	if math.Abs(r[0]-1e-8)/1e-8 > 1e-6 {
+		t.Fatalf("small root lost: %v", r[0])
+	}
+}
+
+func TestCubicThreeRealRoots(t *testing.T) {
+	// (x+1)(x-2)(x-5) = x^3 -6x^2 +3x +10
+	r := RealRoots(New(10, 3, -6, 1))
+	want := []float64{-1, 2, 5}
+	if len(r) != 3 {
+		t.Fatalf("roots = %v", r)
+	}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-9 {
+			t.Fatalf("roots = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestCubicOneRealRoot(t *testing.T) {
+	// (x-1)(x^2+1) = x^3 - x^2 + x - 1
+	r := RealRoots(New(-1, 1, -1, 1))
+	if len(r) != 1 || math.Abs(r[0]-1) > 1e-12 {
+		t.Fatalf("roots = %v", r)
+	}
+}
+
+func TestCubicTripleRoot(t *testing.T) {
+	// (x-2)^3 = x^3 -6x^2 +12x -8
+	r := RealRoots(New(-8, 12, -6, 1))
+	if len(r) != 1 || math.Abs(r[0]-2) > 1e-7 {
+		t.Fatalf("roots = %v", r)
+	}
+}
+
+func TestCubicDoublePlusSimple(t *testing.T) {
+	// (x-1)^2 (x+2) = x^3 - 3x + 2
+	r := RealRoots(New(2, -3, 0, 1))
+	if len(r) != 2 || math.Abs(r[0]+2) > 1e-9 || math.Abs(r[1]-1) > 1e-7 {
+		t.Fatalf("roots = %v", r)
+	}
+}
+
+func TestQuarticViaBracketing(t *testing.T) {
+	// (x^2-1)(x^2-4): roots ±1, ±2.
+	r := RealRoots(New(4, 0, -5, 0, 1))
+	want := []float64{-2, -1, 1, 2}
+	if len(r) != 4 {
+		t.Fatalf("roots = %v", r)
+	}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-9 {
+			t.Fatalf("roots = %v", r)
+		}
+	}
+}
+
+// Property: every reported root really is a root (residual small
+// relative to coefficient scale), for random cubics.
+func TestCubicRootsAreRootsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		c := [4]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if math.Abs(c[3]) < 1e-3 {
+			c[3] = 1
+		}
+		p := New(c[0], c[1], c[2], c[3])
+		scale := math.Abs(c[0]) + math.Abs(c[1]) + math.Abs(c[2]) + math.Abs(c[3])
+		for _, r := range RealRoots(p) {
+			m := 1 + math.Abs(r)
+			if math.Abs(p.At(r)) > 1e-7*scale*m*m*m {
+				t.Fatalf("trial %d: p=%v root %g residual %g", trial, c, r, p.At(r))
+			}
+		}
+	}
+}
+
+// Property: a cubic built from three known real roots recovers them.
+func TestCubicRootRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := rng.NormFloat64()*3, rng.NormFloat64()*3, rng.NormFloat64()*3
+		// Keep roots separated so multiplicity classification is stable.
+		if math.Abs(a-b) < 0.05 || math.Abs(b-c) < 0.05 || math.Abs(a-c) < 0.05 {
+			continue
+		}
+		p := New(-a, 1).Mul(New(-b, 1)).Mul(New(-c, 1))
+		r := RealRoots(p)
+		if len(r) != 3 {
+			t.Fatalf("trial %d: roots(%g,%g,%g) = %v", trial, a, b, c, r)
+		}
+		want := []float64{a, b, c}
+		sortThree(want)
+		for i := range want {
+			if math.Abs(r[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: got %v want %v", trial, r, want)
+			}
+		}
+	}
+}
+
+func sortThree(v []float64) {
+	for i := 0; i < len(v); i++ {
+		for j := i + 1; j < len(v); j++ {
+			if v[j] < v[i] {
+				v[i], v[j] = v[j], v[i]
+			}
+		}
+	}
+}
+
+func TestRootsIn(t *testing.T) {
+	p := New(10, 3, -6, 1) // roots -1, 2, 5
+	r := RootsIn(p, 0, 3)
+	if len(r) != 1 || math.Abs(r[0]-2) > 1e-9 {
+		t.Fatalf("RootsIn = %v", r)
+	}
+	// Endpoint inclusion.
+	r = RootsIn(p, -1, 2)
+	if len(r) != 2 {
+		t.Fatalf("RootsIn endpoints = %v", r)
+	}
+}

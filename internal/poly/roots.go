@@ -1,0 +1,235 @@
+package poly
+
+import (
+	"math"
+	"sort"
+)
+
+// RealRoots returns the real roots of p in ascending order. Degrees 1-3
+// are solved in closed form (linear formula, numerically stable
+// quadratic formula, trigonometric/Cardano cubic); this closed-form
+// path is exactly what replaces Newton–Raphson in the paper's
+// self-consistent voltage solution. Higher degrees fall back to
+// recursive bracketing between the extrema of p (roots of p').
+//
+// Multiple roots are reported once. The zero polynomial and constants
+// report no roots.
+func RealRoots(p Poly) []float64 {
+	p2 := p
+	p2.trim()
+	switch p2.Degree() {
+	case -1, 0:
+		return nil
+	case 1:
+		return []float64{-p2.Coef[0] / p2.Coef[1]}
+	case 2:
+		return quadraticRoots(p2.Coef[0], p2.Coef[1], p2.Coef[2])
+	case 3:
+		return cubicRoots(p2.Coef[0], p2.Coef[1], p2.Coef[2], p2.Coef[3])
+	default:
+		return bracketedRoots(p2)
+	}
+}
+
+// quadraticRoots solves c0 + c1*x + c2*x^2 = 0 with the cancellation-safe
+// form of the quadratic formula.
+func quadraticRoots(c0, c1, c2 float64) []float64 {
+	disc := c1*c1 - 4*c2*c0
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-c1 / (2 * c2)}
+	}
+	s := math.Sqrt(disc)
+	var q float64
+	if c1 >= 0 {
+		q = -0.5 * (c1 + s)
+	} else {
+		q = -0.5 * (c1 - s)
+	}
+	r1 := q / c2
+	var roots []float64
+	if q != 0 {
+		roots = []float64{r1, c0 / q}
+	} else {
+		// c1 == 0 and c0 == 0: double root at 0 handled above; here
+		// c0/c2 < 0 gives symmetric pair.
+		roots = []float64{r1, -r1}
+	}
+	sort.Float64s(roots)
+	if roots[0] == roots[1] {
+		roots = roots[:1]
+	}
+	return roots
+}
+
+// cubicRoots solves c0 + c1*x + c2*x^2 + c3*x^3 = 0.
+func cubicRoots(c0, c1, c2, c3 float64) []float64 {
+	// Normalise to x^3 + a*x^2 + b*x + c.
+	a := c2 / c3
+	b := c1 / c3
+	c := c0 / c3
+	// Depressed cubic t^3 + p*t + q with x = t - a/3.
+	p := b - a*a/3
+	q := 2*a*a*a/27 - a*b/3 + c
+	shift := -a / 3
+
+	var roots []float64
+	disc := q*q/4 + p*p*p/27
+	switch {
+	case disc > 0:
+		// One real root (Cardano), written to avoid cancellation.
+		sq := math.Sqrt(disc)
+		u := math.Cbrt(-q/2 + sq)
+		v := math.Cbrt(-q/2 - sq)
+		roots = []float64{u + v + shift}
+	case disc == 0:
+		if p == 0 { // triple root
+			roots = []float64{shift}
+		} else { // double + simple root
+			r1 := 3 * q / p
+			r2 := -3 * q / (2 * p)
+			roots = []float64{r1 + shift, r2 + shift}
+		}
+	default:
+		// Three distinct real roots: trigonometric method.
+		m := 2 * math.Sqrt(-p/3)
+		arg := 3 * q / (p * m)
+		// Clamp against rounding slightly outside [-1,1].
+		if arg > 1 {
+			arg = 1
+		} else if arg < -1 {
+			arg = -1
+		}
+		theta := math.Acos(arg) / 3
+		for k := 0; k < 3; k++ {
+			roots = append(roots, m*math.Cos(theta-2*math.Pi*float64(k)/3)+shift)
+		}
+	}
+	poly := New(c0, c1, c2, c3)
+	for i := range roots {
+		roots[i] = polish(poly, roots[i])
+	}
+	sort.Float64s(roots)
+	return dedupe(roots)
+}
+
+// polish runs up to four Newton steps to tighten a closed-form root that
+// may carry rounding from the trigonometric/Cardano path. It never moves
+// a root by more than a small multiple of its magnitude.
+func polish(p Poly, x float64) float64 {
+	d := p.Deriv()
+	for i := 0; i < 4; i++ {
+		fx := p.At(x)
+		if fx == 0 {
+			return x
+		}
+		dx := d.At(x)
+		if dx == 0 {
+			return x
+		}
+		step := fx / dx
+		lim := 1e-3 * (math.Abs(x) + 1)
+		if math.Abs(step) > lim {
+			return x // closed form was already the authority
+		}
+		x -= step
+	}
+	return x
+}
+
+func dedupe(sorted []float64) []float64 {
+	if len(sorted) == 0 {
+		return sorted
+	}
+	out := sorted[:1]
+	for _, r := range sorted[1:] {
+		prev := out[len(out)-1]
+		tol := 1e-10 * (math.Abs(prev) + math.Abs(r) + 1e-30)
+		if math.Abs(r-prev) > tol {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// bracketedRoots finds the real roots of a degree >= 4 polynomial by
+// recursively locating the extrema (roots of the derivative) and
+// bisecting each sign-changing interval between consecutive extrema.
+func bracketedRoots(p Poly) []float64 {
+	crit := RealRoots(p.Deriv())
+	// Establish an interval that contains all roots (Cauchy bound).
+	bound := cauchyBound(p)
+	pts := []float64{-bound}
+	for _, c := range crit {
+		if c > -bound && c < bound {
+			pts = append(pts, c)
+		}
+	}
+	pts = append(pts, bound)
+	sort.Float64s(pts)
+	var roots []float64
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		fa, fb := p.At(a), p.At(b)
+		if fa == 0 {
+			roots = append(roots, a)
+			continue
+		}
+		if fa*fb < 0 {
+			roots = append(roots, bisect(p, a, b))
+		}
+	}
+	if p.At(bound) == 0 {
+		roots = append(roots, bound)
+	}
+	sort.Float64s(roots)
+	return dedupe(roots)
+}
+
+func cauchyBound(p Poly) float64 {
+	n := len(p.Coef)
+	lead := math.Abs(p.Coef[n-1])
+	mx := 0.0
+	for _, c := range p.Coef[:n-1] {
+		if a := math.Abs(c); a > mx {
+			mx = a
+		}
+	}
+	return 1 + mx/lead
+}
+
+func bisect(p Poly, a, b float64) float64 {
+	fa := p.At(a)
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		if m == a || m == b {
+			return m
+		}
+		fm := p.At(m)
+		if fm == 0 {
+			return m
+		}
+		if fa*fm < 0 {
+			b = m
+		} else {
+			a, fa = m, fm
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// RootsIn returns the real roots of p inside the closed interval
+// [lo, hi], in ascending order. A root landing within tol of an
+// endpoint is included; tol scales with the interval width.
+func RootsIn(p Poly, lo, hi float64) []float64 {
+	tol := 1e-12 * (math.Abs(hi-lo) + 1)
+	var out []float64
+	for _, r := range RealRoots(p) {
+		if r >= lo-tol && r <= hi+tol {
+			out = append(out, math.Min(math.Max(r, lo), hi))
+		}
+	}
+	return out
+}

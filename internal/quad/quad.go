@@ -1,0 +1,157 @@
+// Package quad provides the numerical integration the reference
+// (FETToy-style) model spends its time in: adaptive Simpson quadrature,
+// fixed-order Gauss–Legendre rules, semi-infinite transforms for the
+// Fermi-tail integrals, and a substitution that removes the van Hove
+// 1/sqrt singularity at a subband edge exactly.
+package quad
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConverge is returned when adaptive refinement hits its depth
+// limit before reaching the requested tolerance.
+var ErrNoConverge = errors.New("quad: adaptive quadrature did not converge")
+
+// Simpson integrates f over [a, b] with adaptive Simpson quadrature to
+// absolute tolerance tol. maxDepth bounds the recursion (a depth of 30
+// splits the interval into up to 2^30 panels).
+func Simpson(f func(float64) float64, a, b, tol float64, maxDepth int) (float64, error) {
+	if a == b {
+		return 0, nil
+	}
+	sign := 1.0
+	if b < a {
+		a, b = b, a
+		sign = -1
+	}
+	fa, fb := f(a), f(b)
+	m := 0.5 * (a + b)
+	fm := f(m)
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	v, ok := adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, maxDepth)
+	if !ok {
+		return sign * v, ErrNoConverge
+	}
+	return sign * v, nil
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) (float64, bool) {
+	m := 0.5 * (a + b)
+	lm, rm := 0.5*(a+m), 0.5*(m+b)
+	flm, frm := f(lm), f(rm)
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	delta := left + right - whole
+	if math.Abs(delta) <= 15*tol || !isFiniteTriple(flm, frm, fm) {
+		return left + right + delta/15, true
+	}
+	if depth <= 0 {
+		return left + right + delta/15, false
+	}
+	lv, lok := adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1)
+	rv, rok := adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+	return lv + rv, lok && rok
+}
+
+func isFiniteTriple(a, b, c float64) bool {
+	return !math.IsInf(a, 0) && !math.IsNaN(a) &&
+		!math.IsInf(b, 0) && !math.IsNaN(b) &&
+		!math.IsInf(c, 0) && !math.IsNaN(c)
+}
+
+// GaussLegendre holds the nodes and weights of an n-point rule on
+// [-1, 1].
+type GaussLegendre struct {
+	X, W []float64
+}
+
+// NewGaussLegendre computes an n-point Gauss–Legendre rule. Nodes are
+// found by Newton iteration on the Legendre polynomial from the
+// Chebyshev initial guess; weights from the standard derivative formula.
+func NewGaussLegendre(n int) *GaussLegendre {
+	if n < 1 {
+		panic("quad: Gauss-Legendre order must be >= 1")
+	}
+	g := &GaussLegendre{X: make([]float64, n), W: make([]float64, n)}
+	for i := 0; i < (n+1)/2; i++ {
+		// Initial guess: Chebyshev-like root location.
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, 0.0
+			// Recurrence for P_n(x).
+			for j := 0; j < n; j++ {
+				p0, p1 = ((2*float64(j)+1)*x*p0-float64(j)*p1)/float64(j+1), p0
+			}
+			// Derivative via the standard identity.
+			pp = float64(n) * (x*p0 - p1) / (x*x - 1)
+			dx := p0 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		g.X[i] = -x
+		g.X[n-1-i] = x
+		w := 2 / ((1 - x*x) * pp * pp)
+		g.W[i] = w
+		g.W[n-1-i] = w
+	}
+	if n%2 == 1 {
+		g.X[n/2] = 0
+	}
+	return g
+}
+
+// Integrate applies the rule to f on [a, b].
+func (g *GaussLegendre) Integrate(f func(float64) float64, a, b float64) float64 {
+	c, h := 0.5*(a+b), 0.5*(b-a)
+	s := 0.0
+	for i, x := range g.X {
+		s += g.W[i] * f(c+h*x)
+	}
+	return s * h
+}
+
+// SemiInfinite integrates f over [a, +inf) for integrands that decay at
+// least exponentially (Fermi tails). It maps t in (0,1] to
+// x = a + t/(1-t) and integrates the transformed integrand adaptively.
+func SemiInfinite(f func(float64) float64, a, tol float64) (float64, error) {
+	g := func(t float64) float64 {
+		if t >= 1 {
+			return 0
+		}
+		om := 1 - t
+		x := a + t/om
+		return f(x) / (om * om)
+	}
+	return Simpson(g, 0, 1, tol, 40)
+}
+
+// SqrtSingularUpper integrates f(x)/sqrt(x - s) over [s, b] where f is
+// smooth: the substitution x = s + u^2 removes the singularity exactly,
+// giving 2*∫ f(s+u^2) du over [0, sqrt(b-s)]. This is the van Hove edge
+// of the nanotube density of states.
+func SqrtSingularUpper(f func(float64) float64, s, b, tol float64) (float64, error) {
+	if b <= s {
+		return 0, nil
+	}
+	g := func(u float64) float64 { return 2 * f(s+u*u) }
+	return Simpson(g, 0, math.Sqrt(b-s), tol, 40)
+}
+
+// Trapezoid integrates samples ys on the uniform grid xs (paired
+// slices) with the composite trapezoid rule; used for RMS-metric
+// normalisation and reporting, never for the physics.
+func Trapezoid(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("quad: Trapezoid length mismatch")
+	}
+	s := 0.0
+	for i := 1; i < len(xs); i++ {
+		s += 0.5 * (ys[i] + ys[i-1]) * (xs[i] - xs[i-1])
+	}
+	return s
+}

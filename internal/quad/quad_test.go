@@ -1,0 +1,182 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimpsonPolynomialExact(t *testing.T) {
+	// Simpson is exact for cubics even without refinement.
+	f := func(x float64) float64 { return 1 + x + x*x + x*x*x }
+	got, err := Simpson(f, 0, 2, 1e-12, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 + 2.0 + 8.0/3 + 4.0 // ∫ = x + x²/2 + x³/3 + x⁴/4
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestSimpsonTranscendental(t *testing.T) {
+	got, err := Simpson(math.Exp, 0, 1, 1e-12, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(math.E-1)) > 1e-10 {
+		t.Fatalf("∫e^x = %g", got)
+	}
+}
+
+func TestSimpsonOrientationAndDegenerate(t *testing.T) {
+	fwd, _ := Simpson(math.Sin, 0, math.Pi, 1e-10, 30)
+	rev, _ := Simpson(math.Sin, math.Pi, 0, 1e-10, 30)
+	if math.Abs(fwd+rev) > 1e-9 {
+		t.Fatalf("reversal not antisymmetric: %g vs %g", fwd, rev)
+	}
+	if v, _ := Simpson(math.Sin, 1, 1, 1e-10, 30); v != 0 {
+		t.Fatalf("zero-width integral = %g", v)
+	}
+}
+
+func TestSimpsonReportsNonConvergence(t *testing.T) {
+	// A fast oscillation that depth-2 refinement cannot resolve to
+	// 1e-14 anywhere in the interval.
+	osc := func(x float64) float64 { return math.Sin(1000 * x) }
+	_, err := Simpson(osc, 0, 1, 1e-14, 2)
+	if err == nil {
+		t.Fatal("expected ErrNoConverge at tiny depth")
+	}
+}
+
+func TestGaussLegendreNodesSymmetric(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		g := NewGaussLegendre(n)
+		wsum := 0.0
+		for i := range g.X {
+			if math.Abs(g.X[i]+g.X[n-1-i]) > 1e-14 {
+				t.Fatalf("n=%d nodes not symmetric: %v", n, g.X)
+			}
+			wsum += g.W[i]
+		}
+		if math.Abs(wsum-2) > 1e-12 {
+			t.Fatalf("n=%d weights sum to %g, want 2", n, wsum)
+		}
+	}
+}
+
+func TestGaussLegendreExactForHighDegree(t *testing.T) {
+	// n-point GL is exact for degree 2n-1.
+	g := NewGaussLegendre(5)
+	f := func(x float64) float64 { return math.Pow(x, 9) + math.Pow(x, 8) }
+	got := g.Integrate(f, -1, 1)
+	want := 2.0 / 9 // odd term vanishes; ∫x^8 = 2/9
+	if math.Abs(got-want) > 1e-13 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestGaussLegendreGeneralInterval(t *testing.T) {
+	g := NewGaussLegendre(20)
+	got := g.Integrate(math.Exp, 0, 1)
+	if math.Abs(got-(math.E-1)) > 1e-13 {
+		t.Fatalf("GL ∫e^x = %g", got)
+	}
+}
+
+func TestGaussLegendrePanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGaussLegendre(0)
+}
+
+func TestSemiInfiniteExponential(t *testing.T) {
+	// ∫₀^∞ e^-x dx = 1
+	got, err := SemiInfinite(func(x float64) float64 { return math.Exp(-x) }, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("got %g", got)
+	}
+}
+
+func TestSemiInfiniteShiftedGaussianTail(t *testing.T) {
+	// ∫_a^∞ x e^-x² dx = e^-a²/2
+	a := 1.3
+	got, err := SemiInfinite(func(x float64) float64 { return x * math.Exp(-x*x) }, a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-a*a) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestSemiInfiniteFermiTail(t *testing.T) {
+	// ∫₀^∞ 1/(1+e^(x-η)) dx = ln(1+e^η): the physics this exists for.
+	eta := 2.0
+	got, err := SemiInfinite(func(x float64) float64 { return 1 / (1 + math.Exp(x-eta)) }, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1 + math.Exp(eta))
+	if math.Abs(got-want) > 1e-8 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestSqrtSingularUpperExact(t *testing.T) {
+	// ∫_s^b dx/sqrt(x-s) = 2*sqrt(b-s) with f = 1.
+	s, b := 0.4, 2.0
+	got, err := SqrtSingularUpper(func(x float64) float64 { return 1 }, s, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Sqrt(b-s)
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestSqrtSingularUpperVanHoveShape(t *testing.T) {
+	// ∫_s^b x/sqrt(x²-s²) dx = sqrt(b²-s²). Write the integrand as
+	// f(x)/sqrt(x-s) with f(x) = x/sqrt(x+s), smooth on [s,b].
+	s, b := 0.29, 1.0
+	f := func(x float64) float64 { return x / math.Sqrt(x+s) }
+	got, err := SqrtSingularUpper(f, s, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(b*b - s*s)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestSqrtSingularUpperEmpty(t *testing.T) {
+	if v, err := SqrtSingularUpper(func(float64) float64 { return 1 }, 1, 0.5, 1e-10); err != nil || v != 0 {
+		t.Fatalf("empty interval: %g %v", v, err)
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 1, 2}
+	if got := Trapezoid(xs, ys); got != 2 {
+		t.Fatalf("got %g", got)
+	}
+}
+
+func TestTrapezoidPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Trapezoid([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,231 @@
+// Package report renders the library's tables, data series and quick
+// ASCII plots. Every experiment regenerator (cmd/cntrms, cmd/cntiv,
+// cmd/cntfit, bench harness) prints through this package so the output
+// format matches across tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells, one format per cell value.
+func (t *Table) AddRowf(format string, values ...any) {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprintf(format, v)
+	}
+	t.AddRow(parts...)
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits series columns as CSV: one header row, then one row
+// per index. All columns must share a length.
+func WriteCSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("report: %d headers for %d columns", len(headers), len(cols))
+	}
+	n := -1
+	for _, c := range cols {
+		if n == -1 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("report: ragged columns (%d vs %d)", len(c), n)
+		}
+	}
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for i := 0; i < n; i++ {
+		for j := range cols {
+			if j > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%g", cols[j][i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ASCIIPlot draws series of (x, y) points on a small character canvas.
+// Distinct series use distinct glyphs. It is intentionally minimal —
+// the examples use it to let a terminal user see the figure shapes
+// without leaving the shell.
+type ASCIIPlot struct {
+	Width, Height  int
+	XLabel, YLabel string
+	series         []plotSeries
+}
+
+type plotSeries struct {
+	xs, ys []float64
+	glyph  byte
+}
+
+// NewASCIIPlot creates a plot canvas; zero dimensions default to 72x20.
+func NewASCIIPlot() *ASCIIPlot { return &ASCIIPlot{Width: 72, Height: 20} }
+
+// Add appends a series rendered with the given glyph.
+func (p *ASCIIPlot) Add(glyph byte, xs, ys []float64) {
+	p.series = append(p.series, plotSeries{xs: xs, ys: ys, glyph: glyph})
+}
+
+// Render draws the canvas.
+func (p *ASCIIPlot) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if xmin > xmax {
+		fmt.Fprintln(w, "(empty plot)")
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			cx := int(float64(width-1) * (s.xs[i] - xmin) / (xmax - xmin))
+			cy := int(float64(height-1) * (s.ys[i] - ymin) / (ymax - ymin))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				canvas[row][cx] = s.glyph
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-12s max %.3g\n", p.YLabel, ymax)
+	for _, row := range canvas {
+		fmt.Fprintf(w, "|%s\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, " %-10g%*s%g  (%s)\n", xmin, width-22, "", xmax, p.XLabel)
+}
+
+// Histogram renders a horizontal ASCII histogram of samples into bins
+// equally spaced between the sample min and max.
+func Histogram(w io.Writer, samples []float64, bins int, label string) {
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "(no samples)")
+		return
+	}
+	if bins < 1 {
+		bins = 10
+	}
+	mn, mx := samples[0], samples[0]
+	for _, s := range samples {
+		mn = math.Min(mn, s)
+		mx = math.Max(mx, s)
+	}
+	if mx == mn {
+		fmt.Fprintf(w, "all %d samples at %g\n", len(samples), mn)
+		return
+	}
+	counts := make([]int, bins)
+	for _, s := range samples {
+		i := int(float64(bins) * (s - mn) / (mx - mn))
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	const width = 50
+	fmt.Fprintf(w, "%s (%d samples)\n", label, len(samples))
+	for i, c := range counts {
+		lo := mn + (mx-mn)*float64(i)/float64(bins)
+		bar := strings.Repeat("#", c*width/peak)
+		fmt.Fprintf(w, "%12.4g |%-*s %d\n", lo, width, bar, c)
+	}
+}

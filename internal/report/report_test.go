@@ -1,0 +1,125 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligns(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	// The value column must start at the same offset in both data rows.
+	i1 := strings.Index(lines[3], "1")
+	i2 := strings.Index(lines[4], "22")
+	if i1 != i2 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowfAndShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("%.1f", 1.0, 2.0, 3.0)
+	tb.AddRow("only-one")
+	out := tb.String()
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "only-one") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// Extra cells are dropped silently.
+	tb2 := NewTable("", "x")
+	tb2.AddRow("1", "overflow")
+	if strings.Contains(tb2.String(), "overflow") {
+		t.Fatal("overflow cell rendered")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"x", "y"}, []float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,3\n2,4\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, []string{"x"}, []float64{1}, []float64{2}); err == nil {
+		t.Fatal("header/column mismatch accepted")
+	}
+	if err := WriteCSV(&b, []string{"x", "y"}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}
+
+func TestASCIIPlotRendersSeries(t *testing.T) {
+	p := NewASCIIPlot()
+	p.XLabel = "VDS [V]"
+	p.YLabel = "IDS [A]"
+	p.Add('*', []float64{0, 0.5, 1}, []float64{0, 0.5, 1})
+	p.Add('o', []float64{0, 0.5, 1}, []float64{1, 0.5, 0})
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "VDS [V]") || !strings.Contains(out, "IDS [A]") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	NewASCIIPlot().Render(&b)
+	if !strings.Contains(b.String(), "empty") {
+		t.Fatalf("empty plot: %q", b.String())
+	}
+}
+
+func TestASCIIPlotDegenerateRange(t *testing.T) {
+	p := NewASCIIPlot()
+	p.Add('x', []float64{1, 1}, []float64{2, 2})
+	var b strings.Builder
+	p.Render(&b) // must not divide by zero
+	if !strings.Contains(b.String(), "x") {
+		t.Fatal("point not drawn")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, []float64{1, 1, 1, 2, 2, 3}, 3, "demo")
+	out := b.String()
+	if !strings.Contains(out, "demo (6 samples)") || !strings.Contains(out, "###") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 { // label + 3 bins
+		t.Fatalf("%d lines:\n%s", lines, out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, nil, 5, "x")
+	if !strings.Contains(b.String(), "no samples") {
+		t.Fatal("empty case")
+	}
+	b.Reset()
+	Histogram(&b, []float64{2, 2, 2}, 5, "x")
+	if !strings.Contains(b.String(), "all 3 samples") {
+		t.Fatal("constant case")
+	}
+}

@@ -1,0 +1,172 @@
+package rootfind
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	r, err := Bisect(f, 0, 2, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Root-math.Sqrt2) > 1e-10 {
+		t.Fatalf("root = %.15g", r.Root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, Default()); err != nil || r.Root != 0 {
+		t.Fatalf("endpoint root missed: %v %v", r.Root, err)
+	}
+	if r, err := Bisect(f, -1, 0, Default()); err != nil || r.Root != 0 {
+		t.Fatalf("endpoint root missed: %v %v", r.Root, err)
+	}
+}
+
+func TestBisectBadBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, Default()); err != ErrBadBracket {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewtonQuadraticConvergence(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) - 3 }
+	df := math.Exp
+	r, err := Newton(f, df, 0.5, 0, 3, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Root-math.Log(3)) > 1e-10 {
+		t.Fatalf("root = %g", r.Root)
+	}
+	if r.Iterations > 12 {
+		t.Fatalf("Newton took %d iterations", r.Iterations)
+	}
+}
+
+func TestNewtonSafeguardsAgainstZeroDerivative(t *testing.T) {
+	// f = x^3 has f'(0) = 0; start at the stationary point.
+	f := func(x float64) float64 { return x * x * x }
+	df := func(x float64) float64 { return 3 * x * x }
+	r, err := Newton(f, df, 0, -1, 2, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Root) > 1e-6 {
+		t.Fatalf("root = %g", r.Root)
+	}
+}
+
+func TestNewtonWildDerivativeFallsBackToBisection(t *testing.T) {
+	// Steep tanh: naive Newton from the flat region diverges; the
+	// bracket safeguard must still land the root.
+	k := 500.0
+	f := func(x float64) float64 { return math.Tanh(k * (x - 0.3)) }
+	df := func(x float64) float64 {
+		c := math.Cosh(k * (x - 0.3))
+		return k / (c * c)
+	}
+	r, err := Newton(f, df, -5, -6, 6, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Root-0.3) > 1e-8 {
+		t.Fatalf("root = %g", r.Root)
+	}
+}
+
+func TestNewtonBadBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	df := func(x float64) float64 { return 2 * x }
+	if _, err := Newton(f, df, 0, -1, 1, Default()); err != ErrBadBracket {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBrentAgainstKnownRoots(t *testing.T) {
+	cases := []struct {
+		f        func(float64) float64
+		a, b, rt float64
+	}{
+		{func(x float64) float64 { return x*x*x - 2*x - 5 }, 2, 3, 2.0945514815423265},
+		{func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 0.7390851332151607},
+		{func(x float64) float64 { return math.Exp(-x) - x }, 0, 1, 0.5671432904097838},
+	}
+	for i, c := range cases {
+		r, err := Brent(c.f, c.a, c.b, Default())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(r.Root-c.rt) > 1e-9 {
+			t.Fatalf("case %d: root = %.15g want %.15g", i, r.Root, c.rt)
+		}
+	}
+}
+
+func TestBrentBadBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, Default()); err != ErrBadBracket {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpandBracket(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	a, b, err := ExpandBracket(f, 0, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(a)*f(b) > 0 {
+		t.Fatalf("[%g,%g] does not bracket", a, b)
+	}
+}
+
+func TestExpandBracketFailure(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, _, err := ExpandBracket(f, -1, 1, 5); err == nil {
+		t.Fatal("expected failure for rootless function")
+	}
+}
+
+// Property: on random monotone cubics with a bracketed root, all three
+// solvers agree.
+func TestSolversAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		a := 0.2 + rng.Float64()*3
+		b := rng.NormFloat64()
+		c := rng.NormFloat64() * 2
+		f := func(x float64) float64 { return a*x*x*x + a*x + b*0 + c + b } // monotone: 3a x² + a > 0
+		df := func(x float64) float64 { return 3*a*x*x + a }
+		lo, hi, err := ExpandBracket(f, -1, 1, 60)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rb, err1 := Bisect(f, lo, hi, Default())
+		rn, err2 := Newton(f, df, 0.5*(lo+hi), lo, hi, Default())
+		rr, err3 := Brent(f, lo, hi, Default())
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("trial %d: %v %v %v", trial, err1, err2, err3)
+		}
+		if math.Abs(rb.Root-rn.Root) > 1e-7 || math.Abs(rn.Root-rr.Root) > 1e-7 {
+			t.Fatalf("trial %d: roots disagree %g %g %g", trial, rb.Root, rn.Root, rr.Root)
+		}
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.MaxIter != 200 || o.XTol != 1e-12 {
+		t.Fatalf("fill: %+v", o)
+	}
+	o2 := Options{FTol: 1e-6}
+	o2.fill()
+	if o2.XTol != 0 || o2.FTol != 1e-6 {
+		t.Fatalf("fill clobbered explicit FTol: %+v", o2)
+	}
+}

@@ -1,0 +1,122 @@
+// Package sweep runs bias sweeps over transistor models and computes
+// the paper's comparison metrics: families of IDS(VDS) curves at
+// stepped gate voltages (figures 6-11) and the per-curve "average RMS
+// error" grids of tables II-V.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"cntfet/internal/fettoy"
+	"cntfet/internal/units"
+)
+
+// CurrentSource is any model that can produce a drain current at a
+// bias point; both the reference theory and the piecewise models
+// satisfy it.
+type CurrentSource interface {
+	IDS(fettoy.Bias) (float64, error)
+}
+
+// Curve is one IDS(VDS) sweep at a fixed gate voltage.
+type Curve struct {
+	VG  float64
+	VDS []float64
+	IDS []float64
+}
+
+// Trace evaluates one curve on the given drain-voltage grid.
+func Trace(m CurrentSource, vg float64, vds []float64) (Curve, error) {
+	c := Curve{VG: vg, VDS: append([]float64(nil), vds...), IDS: make([]float64, len(vds))}
+	for i, vd := range vds {
+		ids, err := m.IDS(fettoy.Bias{VG: vg, VD: vd})
+		if err != nil {
+			return Curve{}, fmt.Errorf("sweep: VG=%g VDS=%g: %w", vg, vd, err)
+		}
+		c.IDS[i] = ids
+	}
+	return c, nil
+}
+
+// Family evaluates one curve per gate voltage on a shared VDS grid.
+func Family(m CurrentSource, vgs, vds []float64) ([]Curve, error) {
+	out := make([]Curve, 0, len(vgs))
+	for _, vg := range vgs {
+		c, err := Trace(m, vg, vds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Grid returns the paper's standard VDS grid: 0 to 0.6 V in 61 steps.
+func Grid() []float64 { return units.Linspace(0, 0.6, 61) }
+
+// PaperGates returns the gate voltages of figures 6 and 7:
+// 0.3 to 0.6 V in 0.05 V steps.
+func PaperGates() []float64 { return units.Linspace(0.3, 0.6, 7) }
+
+// TableGates returns the gate voltages of tables II-IV:
+// 0.1 to 0.6 V in 0.1 V steps.
+func TableGates() []float64 { return units.Linspace(0.1, 0.6, 6) }
+
+// RMSPercent computes the paper's per-curve error metric between a
+// model curve and a reference curve sharing the same grid:
+// 100·sqrt(mean((I_m − I_r)²)) / mean(I_r).
+func RMSPercent(model, ref Curve) (float64, error) {
+	if len(model.IDS) != len(ref.IDS) {
+		return 0, fmt.Errorf("sweep: curve lengths differ (%d vs %d)", len(model.IDS), len(ref.IDS))
+	}
+	if len(ref.IDS) == 0 {
+		return 0, fmt.Errorf("sweep: empty curves")
+	}
+	var sum, mean float64
+	for i := range ref.IDS {
+		d := model.IDS[i] - ref.IDS[i]
+		sum += d * d
+		mean += ref.IDS[i]
+	}
+	n := float64(len(ref.IDS))
+	mean /= n
+	if mean <= 0 {
+		return 0, fmt.Errorf("sweep: reference curve mean %g not positive", mean)
+	}
+	return 100 * math.Sqrt(sum/n) / mean, nil
+}
+
+// CompareFamilies returns the RMS percent error per gate voltage for a
+// model family against a reference family (the body of tables II-IV).
+func CompareFamilies(model, ref []Curve) ([]float64, error) {
+	if len(model) != len(ref) {
+		return nil, fmt.Errorf("sweep: family sizes differ (%d vs %d)", len(model), len(ref))
+	}
+	out := make([]float64, len(ref))
+	for i := range ref {
+		if model[i].VG != ref[i].VG {
+			return nil, fmt.Errorf("sweep: gate mismatch at %d: %g vs %g", i, model[i].VG, ref[i].VG)
+		}
+		e, err := RMSPercent(model[i], ref[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// MaxCurrent returns the largest current in a family, used to scale
+// plots.
+func MaxCurrent(fam []Curve) float64 {
+	mx := 0.0
+	for _, c := range fam {
+		for _, i := range c.IDS {
+			if i > mx {
+				mx = i
+			}
+		}
+	}
+	return mx
+}

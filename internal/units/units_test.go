@@ -1,0 +1,141 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThermalEnergyRoomTemperature(t *testing.T) {
+	kt := KT(300)
+	if !CloseRel(kt, 0.025852, 1e-3) {
+		t.Fatalf("KT(300) = %g eV, want ~0.025852 eV", kt)
+	}
+}
+
+func TestEVRoundTrip(t *testing.T) {
+	for _, ev := range []float64{-1.5, -0.32, 0, 0.026, 3.0} {
+		if got := ToEV(EV(ev)); !Close(got, ev, 1e-12, 1e-300) {
+			t.Errorf("ToEV(EV(%g)) = %g", ev, got)
+		}
+	}
+}
+
+func TestFermiVelocityMagnitude(t *testing.T) {
+	// The standard graphene Fermi velocity is ~9.7e5 m/s for
+	// gamma = 3.0 eV, acc = 0.142 nm.
+	if VFermi < 9e5 || VFermi > 1.1e6 {
+		t.Fatalf("VFermi = %g m/s, outside the physical window", VFermi)
+	}
+}
+
+func TestCloseBasics(t *testing.T) {
+	cases := []struct {
+		a, b, rel, abs float64
+		want           bool
+	}{
+		{1, 1, 0, 0, true},
+		{1, 1.0001, 1e-3, 0, true},
+		{1, 1.01, 1e-3, 0, false},
+		{0, 1e-15, 0, 1e-12, true},
+		{math.NaN(), 1, 1, 1, false},
+		{1, math.NaN(), 1, 1, false},
+		{math.Inf(1), math.Inf(1), 0, 0, true},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b, c.rel, c.abs); got != c.want {
+			t.Errorf("Close(%g,%g,%g,%g) = %v, want %v", c.a, c.b, c.rel, c.abs, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestLinspaceEndpointsAndSpacing(t *testing.T) {
+	pts := Linspace(-0.5, 0.5, 11)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0] != -0.5 || pts[10] != 0.5 {
+		t.Fatalf("endpoints %g %g", pts[0], pts[10])
+	}
+	for i := 1; i < len(pts); i++ {
+		if !Close(pts[i]-pts[i-1], 0.1, 1e-12, 1e-12) {
+			t.Fatalf("uneven spacing at %d: %g", i, pts[i]-pts[i-1])
+		}
+	}
+}
+
+func TestLinspaceDegenerate(t *testing.T) {
+	if got := Linspace(1, 2, 0); got != nil {
+		t.Fatalf("n=0 should be nil, got %v", got)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("n=1 should be [lo], got %v", got)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if !CloseRel(pts[i], want[i], 1e-10) {
+			t.Fatalf("Logspace[%d] = %g, want %g", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestLogspacePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive endpoint")
+		}
+	}()
+	Logspace(0, 1, 3)
+}
+
+// Property: Linspace is monotone increasing whenever hi > lo.
+func TestLinspaceMonotoneProperty(t *testing.T) {
+	f := func(a, b float64, nRaw uint8) bool {
+		lo, hi := a, b
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		if hi <= lo {
+			lo, hi = hi, lo+1
+		}
+		if math.IsInf(hi-lo, 0) {
+			return true // span overflows float64; spacing is undefined
+		}
+		n := int(nRaw%30) + 2
+		pts := Linspace(lo, hi, n)
+		for i := 1; i < len(pts); i++ {
+			if pts[i] < pts[i-1] {
+				return false
+			}
+		}
+		return pts[0] == lo && pts[len(pts)-1] == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clamp output is always inside [lo,hi] and idempotent.
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(x, lo, hi)
+		return c >= lo && c <= hi && Clamp(c, lo, hi) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

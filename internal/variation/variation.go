@@ -1,0 +1,159 @@
+// Package variation runs process-variability studies over CNT
+// transistor populations. Diameter dispersion (chirality control) and
+// doping/Fermi-level spread are the canonical CNFET manufacturing
+// problems, and sweeping them takes thousands of device evaluations —
+// exactly the workload the paper's >1000x evaluation speedup exists
+// for. Fermi-level spread is handled without any refitting through
+// core.Model.WithEF (the fitted charge curve is EF-invariant in the
+// paper's u = VSC − EF/q variable); diameter spread refits the charge
+// curve per sample with a reduced sampling budget.
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cntfet/internal/core"
+	"cntfet/internal/fettoy"
+)
+
+// Spread describes the per-device parameter dispersion (one standard
+// deviation each; zero disables that axis).
+type Spread struct {
+	// DiameterRel is the relative sigma of the tube diameter
+	// (e.g. 0.04 for 4 % chirality dispersion).
+	DiameterRel float64
+	// EF is the absolute sigma of the Fermi level in eV (doping
+	// fluctuation).
+	EF float64
+}
+
+// Result summarises a Monte Carlo run.
+type Result struct {
+	// Samples holds the metric of every device, in generation order.
+	Samples []float64
+	// Mean and Std are the sample statistics.
+	Mean, Std float64
+	// P5, P50, P95 are percentiles of the sorted samples.
+	P5, P50, P95 float64
+}
+
+func summarize(samples []float64) Result {
+	r := Result{Samples: samples}
+	n := float64(len(samples))
+	for _, s := range samples {
+		r.Mean += s
+	}
+	r.Mean /= n
+	for _, s := range samples {
+		d := s - r.Mean
+		r.Std += d * d
+	}
+	if len(samples) > 1 {
+		r.Std = math.Sqrt(r.Std / (n - 1))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	r.P5, r.P50, r.P95 = pick(0.05), pick(0.50), pick(0.95)
+	return r
+}
+
+// MonteCarloIDS draws n device variants around the base device and
+// returns the distribution of drain current at the given bias,
+// evaluated with the paper's Model 2. The run is deterministic in the
+// seed.
+func MonteCarloIDS(base fettoy.Device, spread Spread, bias fettoy.Bias, n int, seed int64) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("variation: need at least one sample")
+	}
+	if spread.DiameterRel < 0 || spread.EF < 0 {
+		return Result{}, fmt.Errorf("variation: negative sigma")
+	}
+	ref, err := fettoy.New(base)
+	if err != nil {
+		return Result{}, err
+	}
+	// One nominal fit; EF-only samples reuse it via WithEF.
+	nominal, err := core.Fit(ref, core.Model2Spec(), core.FitOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		ef := base.EF + spread.EF*rng.NormFloat64()
+		dRel := spread.DiameterRel * rng.NormFloat64()
+
+		var m *core.Model
+		if spread.DiameterRel == 0 {
+			m, err = nominal.WithEF(ef)
+			if err != nil {
+				return Result{}, fmt.Errorf("variation: sample %d: %w", i, err)
+			}
+		} else {
+			dev := base
+			dev.Diameter = base.Diameter * (1 + dRel)
+			dev.EF = ef
+			if dev.Diameter <= 0 {
+				return Result{}, fmt.Errorf("variation: sample %d: diameter collapsed", i)
+			}
+			refS, err := fettoy.New(dev)
+			if err != nil {
+				return Result{}, fmt.Errorf("variation: sample %d: %w", i, err)
+			}
+			// Reduced sampling budget: the per-sample fit is the MC
+			// bottleneck, and 80 points keep it at percent accuracy.
+			m, err = core.Fit(refS, core.Model2Spec(), core.FitOptions{Samples: 80})
+			if err != nil {
+				return Result{}, fmt.Errorf("variation: sample %d: %w", i, err)
+			}
+		}
+		ids, err := m.IDS(bias)
+		if err != nil {
+			return Result{}, fmt.Errorf("variation: sample %d: %w", i, err)
+		}
+		samples = append(samples, ids)
+	}
+	return summarize(samples), nil
+}
+
+// Sensitivity estimates d(IDS)/d(EF) around the base device by central
+// differences through the refit-free WithEF path, in A/eV. Useful for
+// cross-checking the Monte Carlo spread: for small sigma,
+// std(IDS) ≈ |sensitivity|·sigma.
+func Sensitivity(base fettoy.Device, bias fettoy.Bias, dEF float64) (float64, error) {
+	if dEF <= 0 {
+		return 0, fmt.Errorf("variation: step must be positive")
+	}
+	ref, err := fettoy.New(base)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.Fit(ref, core.Model2Spec(), core.FitOptions{})
+	if err != nil {
+		return 0, err
+	}
+	up, err := m.WithEF(base.EF + dEF)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := m.WithEF(base.EF - dEF)
+	if err != nil {
+		return 0, err
+	}
+	iu, err := up.IDS(bias)
+	if err != nil {
+		return 0, err
+	}
+	id, err := dn.IDS(bias)
+	if err != nil {
+		return 0, err
+	}
+	return (iu - id) / (2 * dEF), nil
+}

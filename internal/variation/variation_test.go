@@ -1,0 +1,110 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"cntfet/internal/fettoy"
+)
+
+var bias = fettoy.Bias{VG: 0.5, VD: 0.4}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	a, err := MonteCarloIDS(fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloIDS(fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs across runs with the same seed", i)
+		}
+	}
+	c, err := MonteCarloIDS(fettoy.Default(), Spread{EF: 0.02}, bias, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples[0] == a.Samples[0] {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestMonteCarloZeroSpreadIsConstant(t *testing.T) {
+	r, err := MonteCarloIDS(fettoy.Default(), Spread{}, bias, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical samples: any spread is mean-summation rounding.
+	if r.Std > 1e-12*r.Mean {
+		t.Fatalf("std = %g with zero spread (mean %g)", r.Std, r.Mean)
+	}
+	if r.Mean <= 0 {
+		t.Fatalf("mean = %g", r.Mean)
+	}
+}
+
+func TestMonteCarloSpreadMatchesSensitivity(t *testing.T) {
+	sigma := 0.01
+	r, err := MonteCarloIDS(fettoy.Default(), Spread{EF: sigma}, bias, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := Sensitivity(fettoy.Default(), bias, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Abs(sens) * sigma
+	if r.Std < want/2 || r.Std > want*2 {
+		t.Fatalf("MC std %g vs linearised %g", r.Std, want)
+	}
+	// Ordering of the percentiles.
+	if !(r.P5 <= r.P50 && r.P50 <= r.P95) {
+		t.Fatalf("percentiles out of order: %g %g %g", r.P5, r.P50, r.P95)
+	}
+}
+
+func TestMonteCarloDiameterSpread(t *testing.T) {
+	// Small run (per-sample refits are the cost); diameter dispersion
+	// must widen the distribution.
+	r, err := MonteCarloIDS(fettoy.Default(), Spread{DiameterRel: 0.05}, bias, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Std <= 0 {
+		t.Fatal("diameter spread produced no current spread")
+	}
+	if r.Std/r.Mean > 0.5 {
+		t.Fatalf("implausibly wide spread: %g of mean", r.Std/r.Mean)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarloIDS(fettoy.Default(), Spread{}, bias, 0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := MonteCarloIDS(fettoy.Default(), Spread{EF: -1}, bias, 5, 1); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	bad := fettoy.Default()
+	bad.Diameter = -1
+	if _, err := MonteCarloIDS(bad, Spread{}, bias, 5, 1); err == nil {
+		t.Fatal("invalid base device accepted")
+	}
+	if _, err := Sensitivity(fettoy.Default(), bias, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestSensitivitySign(t *testing.T) {
+	// Raising EF (toward the band) turns the device on harder.
+	sens, err := Sensitivity(fettoy.Default(), bias, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens <= 0 {
+		t.Fatalf("dIDS/dEF = %g, want positive", sens)
+	}
+}
