@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: the tier-1 gate — vet, build, race-enabled tests.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: telemetry overhead + solver benchmarks.
+bench:
+	$(GO) test -bench=IDSTelemetry -benchmem ./internal/core/

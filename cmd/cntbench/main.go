@@ -8,9 +8,17 @@
 // Pentium IV); the reproducible quantities are the *ratios* — the
 // paper reports Model 1 ≈ 3400× and Model 2 ≈ 1100× faster — and the
 // linear scaling of time with loop count.
+//
+// With -metrics the output becomes one JSON document with a "table"
+// array and a "counters" block (quadrature evaluations, Newton
+// iterations, piecewise region-dispatch counts, ...), so benchmark
+// trajectories can correlate speedups with solver-work reduction.
+// -trace writes the reference model's Newton residual trajectories as
+// JSON lines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +27,19 @@ import (
 	"cntfet"
 	"cntfet/internal/report"
 	"cntfet/internal/sweep"
+	"cntfet/internal/telemetry"
 )
+
+type options struct {
+	metrics   bool
+	traceFile string
+}
 
 func main() {
 	loops := flag.String("loops", "5,10,50,100", "comma-separated loop counts")
 	points := flag.Int("points", 61, "VDS points per curve")
+	metrics := flag.Bool("metrics", false, "emit JSON with timing table and solver-work counters")
+	traceFile := flag.String("trace", "", "write reference-solve event log (JSON lines) to this file")
 	flag.Parse()
 
 	counts, err := parseInts(*loops)
@@ -31,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cntbench:", err)
 		os.Exit(1)
 	}
-	if err := run(counts, *points); err != nil {
+	if err := run(counts, *points, options{metrics: *metrics, traceFile: *traceFile}); err != nil {
 		fmt.Fprintln(os.Stderr, "cntbench:", err)
 		os.Exit(1)
 	}
@@ -56,11 +72,30 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(counts []int, points int) error {
+// row is one loop-count measurement, JSON-ready for -metrics output.
+type row struct {
+	Loops      int     `json:"loops"`
+	RefSeconds float64 `json:"ref_seconds"`
+	M1Seconds  float64 `json:"m1_seconds"`
+	M2Seconds  float64 `json:"m2_seconds"`
+	SpeedupM1  float64 `json:"speedup_m1"`
+	SpeedupM2  float64 `json:"speedup_m2"`
+}
+
+func run(counts []int, points int, opt options) error {
+	if opt.metrics {
+		telemetry.Enable()
+	}
 	dev := cntfet.DefaultDevice()
 	ref, err := cntfet.NewReference(dev)
 	if err != nil {
 		return err
+	}
+	var tr *telemetry.Trace
+	if opt.traceFile != "" {
+		telemetry.Enable()
+		tr = telemetry.NewTrace(1 << 16)
+		ref.SetTrace(tr)
 	}
 	m1, err := cntfet.FitFrom(ref, cntfet.Model1Spec(), cntfet.FitOptions{})
 	if err != nil {
@@ -90,9 +125,7 @@ func run(counts []int, points int) error {
 		return time.Since(start), nil
 	}
 
-	tb := report.NewTable(
-		"Table I: average CPU time, family of IDS characteristics (7 gates x 61 VDS points)",
-		"Loops", "FETToy(ref)", "Model 1", "Model 2", "speedup M1", "speedup M2")
+	var rows []row
 	for _, n := range counts {
 		tRef, err := timeLoops(ref, n)
 		if err != nil {
@@ -106,13 +139,49 @@ func run(counts []int, points int) error {
 		if err != nil {
 			return err
 		}
+		rows = append(rows, row{
+			Loops:      n,
+			RefSeconds: tRef.Seconds(),
+			M1Seconds:  t1.Seconds(),
+			M2Seconds:  t2.Seconds(),
+			SpeedupM1:  tRef.Seconds() / t1.Seconds(),
+			SpeedupM2:  tRef.Seconds() / t2.Seconds(),
+		})
+	}
+
+	if tr != nil {
+		f, err := os.Create(opt.traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
+
+	if opt.metrics {
+		snap := telemetry.Default().Snapshot()
+		doc := struct {
+			Table []row `json:"table"`
+			telemetry.Snapshot
+		}{Table: rows, Snapshot: snap}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	tb := report.NewTable(
+		"Table I: average CPU time, family of IDS characteristics (7 gates x 61 VDS points)",
+		"Loops", "FETToy(ref)", "Model 1", "Model 2", "speedup M1", "speedup M2")
+	for _, r := range rows {
 		tb.AddRow(
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.4gs", tRef.Seconds()),
-			fmt.Sprintf("%.4gs", t1.Seconds()),
-			fmt.Sprintf("%.4gs", t2.Seconds()),
-			fmt.Sprintf("%.0fx", tRef.Seconds()/t1.Seconds()),
-			fmt.Sprintf("%.0fx", tRef.Seconds()/t2.Seconds()),
+			fmt.Sprintf("%d", r.Loops),
+			fmt.Sprintf("%.4gs", r.RefSeconds),
+			fmt.Sprintf("%.4gs", r.M1Seconds),
+			fmt.Sprintf("%.4gs", r.M2Seconds),
+			fmt.Sprintf("%.0fx", r.SpeedupM1),
+			fmt.Sprintf("%.0fx", r.SpeedupM2),
 		)
 	}
 	tb.Render(os.Stdout)

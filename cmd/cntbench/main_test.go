@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"cntfet/internal/telemetry"
 )
 
 func TestParseInts(t *testing.T) {
@@ -31,7 +34,7 @@ func TestRunSingleLoop(t *testing.T) {
 		io.Copy(&buf, r)
 		done <- buf.String()
 	}()
-	err := run([]int{1}, 13)
+	err := run([]int{1}, 13, options{})
 	w.Close()
 	os.Stdout = old
 	out := <-done
@@ -40,5 +43,57 @@ func TestRunSingleLoop(t *testing.T) {
 	}
 	if !strings.Contains(out, "Table I") || !strings.Contains(out, "speedup") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// TestRunMetricsJSON checks the acceptance shape of `cntbench -metrics`:
+// one JSON document with a timing table and a counters block covering
+// quadrature work, Newton iterations and piecewise region dispatch.
+func TestRunMetricsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	defer telemetry.Disable()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	err := run([]int{1}, 13, options{metrics: true})
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Table    []row            `json:"table"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not one JSON document: %v\n%s", err, out)
+	}
+	if len(doc.Table) != 1 || doc.Table[0].Loops != 1 {
+		t.Fatalf("table = %+v", doc.Table)
+	}
+	for _, key := range []string{
+		"fettoy.quad_points", "fettoy.newton_iters", "core.solves",
+	} {
+		if doc.Counters[key] <= 0 {
+			t.Fatalf("counter %s = %d, want > 0 (counters: %v)", key, doc.Counters[key], doc.Counters)
+		}
+	}
+	dispatch := int64(0)
+	for k, v := range doc.Counters {
+		if strings.HasPrefix(k, "core.dispatch.") {
+			dispatch += v
+		}
+	}
+	if dispatch <= 0 {
+		t.Fatalf("no region-dispatch counts in %v", doc.Counters)
 	}
 }

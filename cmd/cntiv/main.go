@@ -11,7 +11,9 @@
 //
 // Custom sweeps: -t, -ef, -vg, -model override the figure presets.
 // Output is CSV (one VDS column, one current column per curve and
-// model); -plot adds an ASCII rendering.
+// model); -plot adds an ASCII rendering. -metrics appends solver work
+// counters as "# "-prefixed comment lines; -trace writes the reference
+// model's solver event log (JSON lines) to a file.
 package main
 
 import (
@@ -25,8 +27,13 @@ import (
 	"cntfet/internal/expdata"
 	"cntfet/internal/report"
 	"cntfet/internal/sweep"
+	"cntfet/internal/telemetry"
 	"cntfet/internal/units"
 )
+
+// traceSink, when non-nil (-trace flag), is attached to the reference
+// model built for the figure so its charge solves are logged.
+var traceSink *telemetry.Trace
 
 func main() {
 	fig := flag.Int("fig", 6, "paper figure to regenerate (6-11); 0 for a custom sweep")
@@ -36,11 +43,38 @@ func main() {
 	modelNo := flag.Int("model", 2, "piecewise model for custom sweeps (1 or 2)")
 	points := flag.Int("points", 61, "VDS points")
 	plot := flag.Bool("plot", false, "append an ASCII plot")
+	metrics := flag.Bool("metrics", false, "append solver work counters as # comment lines")
+	traceFile := flag.String("trace", "", "write reference-solve event log (JSON lines) to this file")
 	flag.Parse()
 
+	if *metrics {
+		telemetry.Enable()
+	}
+	if *traceFile != "" {
+		telemetry.Enable()
+		traceSink = telemetry.NewTrace(1 << 16)
+	}
 	if err := run(*fig, *temp, *ef, *vgList, *modelNo, *points, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "cntiv:", err)
 		os.Exit(1)
+	}
+	if traceSink != nil {
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = traceSink.WriteJSON(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cntiv: trace export:", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		fmt.Println("# solver metrics:")
+		if err := telemetry.Default().WriteText(os.Stdout, "# "); err != nil {
+			fmt.Fprintln(os.Stderr, "cntiv:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -99,6 +133,9 @@ func buildModels(dev cntfet.Device, modelNo int, optimize bool) (*cntfet.Referen
 	ref, err := cntfet.NewReference(dev)
 	if err != nil {
 		return nil, nil, err
+	}
+	if traceSink != nil {
+		ref.SetTrace(traceSink)
 	}
 	spec := cntfet.Model2Spec()
 	if modelNo == 1 {

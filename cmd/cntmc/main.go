@@ -6,16 +6,26 @@
 //
 //	cntmc -n 10000 -efsigma 0.02               doping spread only (refit-free)
 //	cntmc -n 200 -dsigma 0.04 -efsigma 0.02    adds diameter dispersion
+//
+// -debug-addr starts an HTTP server exposing net/http/pprof profiles
+// and the solver telemetry snapshot at /debug/vars (expvar key
+// "cntfet"); -metrics prints the counters to stderr after the run.
+// Both enable the telemetry gate, so expect a few percent overhead on
+// the per-sample time.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"cntfet"
 	"cntfet/internal/report"
+	"cntfet/internal/telemetry"
 	"cntfet/internal/variation"
 )
 
@@ -27,11 +37,37 @@ func main() {
 	vd := flag.Float64("vd", 0.4, "drain bias [V]")
 	seed := flag.Int64("seed", 1, "random seed")
 	bins := flag.Int("bins", 15, "histogram bins")
+	metrics := flag.Bool("metrics", false, "print solver work counters to stderr after the run")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *metrics {
+		telemetry.Enable()
+	}
+	if *debugAddr != "" {
+		telemetry.Enable()
+		expvar.Publish("cntfet", expvar.Func(func() any {
+			return telemetry.Default().Snapshot()
+		}))
+		go func() {
+			// DefaultServeMux already carries the pprof and expvar
+			// handlers via their package imports.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cntmc: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "cntmc: debug server on http://%s/debug/pprof/ and /debug/vars\n", *debugAddr)
+	}
 	if err := run(*n, *efSigma, *dSigma, *vg, *vd, *seed, *bins); err != nil {
 		fmt.Fprintln(os.Stderr, "cntmc:", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "solver metrics:")
+		if err := telemetry.Default().WriteText(os.Stderr, "  "); err != nil {
+			fmt.Fprintln(os.Stderr, "cntmc:", err)
+			os.Exit(1)
+		}
 	}
 }
 

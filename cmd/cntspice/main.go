@@ -1,47 +1,94 @@
 // Command cntspice runs a SPICE-flavoured netlist through the MNA
 // circuit simulator with CNT transistor devices.
 //
-//	cntspice deck.cir        run all analyses in the deck
-//	cntspice -               read the deck from stdin
+//	cntspice deck.cir               run all analyses in the deck
+//	cntspice -                      read the deck from stdin
+//	cntspice -trace ev.jsonl deck   also write a per-step solver event
+//	                                log (JSON lines) to ev.jsonl
+//	cntspice -metrics deck          print solver work counters to
+//	                                stderr after the run
 //
-// See internal/netlist for the supported dialect; examples/inverter
-// contains a ready-made complementary CNT inverter deck.
+// See internal/netlist for the supported dialect (including the
+// ".options trace metrics" deck directive); examples/inverter contains
+// a ready-made complementary CNT inverter deck.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"cntfet/internal/netlist"
+	"cntfet/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: cntspice <deck.cir|->")
+	traceFile := flag.String("trace", "", "write solver event log (JSON lines) to this file")
+	metrics := flag.Bool("metrics", false, "print solver work counters to stderr after the run")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cntspice [-trace file] [-metrics] <deck.cir|->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	var src []byte
-	var err error
-	if os.Args[1] == "-" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(os.Args[1])
-	}
-	if err != nil {
+	if err := run(flag.Arg(0), *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "cntspice:", err)
 		os.Exit(1)
+	}
+}
+
+func run(deckArg, traceFile string, metrics bool) error {
+	var src []byte
+	var err error
+	if deckArg == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(deckArg)
+	}
+	if err != nil {
+		return err
 	}
 	deck, err := netlist.Parse(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cntspice:", err)
-		os.Exit(1)
+		return err
+	}
+	var tr *telemetry.Trace
+	if traceFile != "" {
+		telemetry.Enable()
+		tr = telemetry.NewTrace(1 << 16)
+		deck.Circuit.SetTrace(tr)
+	}
+	if metrics {
+		telemetry.Enable()
 	}
 	if deck.Title != "" {
 		fmt.Println("*", deck.Title)
 	}
 	if err := deck.Run(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cntspice:", err)
-		os.Exit(1)
+		return err
 	}
+	if tr != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		if n := tr.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "cntspice: trace ring dropped %d oldest events\n", n)
+		}
+	}
+	if metrics {
+		fmt.Fprintln(os.Stderr, "solver metrics:")
+		if err := telemetry.Default().WriteText(os.Stderr, "  "); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"cntfet/internal/linalg"
+	"cntfet/internal/telemetry"
 )
 
 // ACStamper assembles the complex small-signal MNA system at one
@@ -258,8 +259,14 @@ func (c *Circuit) AC(source string, freqs []float64, opt DCOptions) ([]ACPoint, 
 			ae.StampAC(st)
 		}
 		x, err := linalg.SolveCLU(st.a, st.rhs)
+		if telemetry.On() {
+			metrics.acSolves.Inc()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
+		}
+		if c.trace.Enabled() {
+			c.trace.Emit("circuit.ac.point", f)
 		}
 		out = append(out, ACPoint{Freq: f, ix: ix, x: x})
 	}

@@ -14,6 +14,8 @@ package circuit
 import (
 	"fmt"
 	"sort"
+
+	"cntfet/internal/telemetry"
 )
 
 // Ground is the reference node name; it is always voltage zero.
@@ -42,6 +44,10 @@ type BranchElement interface {
 type Circuit struct {
 	elems []Element
 	byNam map[string]Element
+
+	// trace, when attached via SetTrace, receives structured solver
+	// events from every analysis.
+	trace *telemetry.Trace
 }
 
 // New returns an empty circuit.

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"cntfet/internal/linalg"
+	"cntfet/internal/telemetry"
 )
 
 // ErrNoConvergence is returned when Newton iteration fails even with
@@ -61,8 +62,11 @@ func (c *Circuit) OperatingPoint(opt DCOptions) (*Solution, error) {
 	}
 	gmin := 1e-4
 	for step := 0; step < opt.GminSteps; step++ {
+		if telemetry.On() {
+			metrics.dcGminSteps.Inc()
+		}
 		if err := c.newton(st, x, gmin, opt); err != nil {
-			return nil, fmt.Errorf("%w (gmin=%g)", ErrNoConvergence, gmin)
+			return nil, err
 		}
 		gmin /= 100
 	}
@@ -72,8 +76,15 @@ func (c *Circuit) OperatingPoint(opt DCOptions) (*Solution, error) {
 	return &Solution{ix: ix, x: x}, nil
 }
 
-// newton runs damped Newton iteration in place on x.
+// newton runs damped Newton iteration in place on x. On failure it
+// returns a *ConvergenceError carrying the iteration count, the last
+// update norm and the worst unknown's name.
 func (c *Circuit) newton(st *Stamper, x []float64, gmin float64, opt DCOptions) error {
+	on := telemetry.On()
+	if on {
+		metrics.dcSolves.Inc()
+	}
+	worst, worstIx := 0.0, 0
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		st.reset(x)
 		st.Gmin = gmin
@@ -81,11 +92,15 @@ func (c *Circuit) newton(st *Stamper, x []float64, gmin float64, opt DCOptions) 
 			e.Stamp(st)
 		}
 		xNew, err := linalg.SolveLU(st.a, st.rhs)
+		if on {
+			metrics.luSolves.Inc()
+			metrics.dcNewtonIters.Inc()
+		}
 		if err != nil {
 			return fmt.Errorf("circuit: singular MNA matrix: %w", err)
 		}
 		// Damp and measure the update.
-		worst := 0.0
+		worst, worstIx = 0.0, 0
 		for i := range x {
 			d := xNew[i] - x[i]
 			if math.Abs(d) > opt.MaxStep {
@@ -93,14 +108,36 @@ func (c *Circuit) newton(st *Stamper, x []float64, gmin float64, opt DCOptions) 
 			}
 			x[i] += d
 			if a := math.Abs(d); a > worst {
-				worst = a
+				worst, worstIx = a, i
 			}
 		}
 		if worst < opt.VTol {
+			if on {
+				metrics.newtonIterHist.Observe(float64(iter + 1))
+			}
+			if c.trace.Enabled() {
+				c.trace.Emit("circuit.dc.solve", st.Time,
+					"iters", iter+1, "gmin", gmin, "worst_dv", worst)
+			}
 			return nil
 		}
 	}
-	return ErrNoConvergence
+	if on {
+		metrics.convergeFail.Inc()
+	}
+	cerr := &ConvergenceError{
+		Analysis:   "dc",
+		Iterations: opt.MaxIter,
+		Residual:   worst,
+		WorstNode:  st.ix.unknownName(worstIx),
+		Gmin:       gmin,
+		Time:       st.Time,
+	}
+	if c.trace.Enabled() {
+		c.trace.Emit("circuit.converge_fail", st.Time,
+			"iters", cerr.Iterations, "worst_dv", worst, "gmin", gmin)
+	}
+	return cerr
 }
 
 // SweepPoint is one solution of a DC sweep.
@@ -143,6 +180,9 @@ func (c *Circuit) DCSweep(source string, from, to, step float64, opt DCOptions) 
 				return nil, fmt.Errorf("circuit: sweep %s=%g: %w", source, v, err)
 			}
 			copy(x, sol.x)
+		}
+		if c.trace.Enabled() {
+			c.trace.Emit("circuit.dc.sweep_point", v)
 		}
 		out = append(out, SweepPoint{Value: v, Solution: (&Solution{ix: ix, x: x}).Clone()})
 	}

@@ -1,0 +1,100 @@
+package circuit
+
+import (
+	"fmt"
+
+	"cntfet/internal/telemetry"
+)
+
+// metrics holds the pre-resolved telemetry handles of the MNA engine.
+// Newton iterations factor a dense LU each pass, so the per-iteration
+// instrument cost is negligible; call sites still gate on
+// telemetry.On() so an un-instrumented run leaves the registry
+// untouched.
+var metrics = struct {
+	dcSolves        *telemetry.Counter
+	dcNewtonIters   *telemetry.Counter
+	dcGminSteps     *telemetry.Counter
+	luSolves        *telemetry.Counter
+	convergeFail    *telemetry.Counter
+	tranSteps       *telemetry.Counter
+	tranNewtonIters *telemetry.Counter
+	tranRetries     *telemetry.Counter
+	acSolves        *telemetry.Counter
+	newtonIterHist  *telemetry.Histogram
+}{
+	dcSolves:        telemetry.Default().Counter("circuit.dc.solves"),
+	dcNewtonIters:   telemetry.Default().Counter("circuit.dc.newton_iters"),
+	dcGminSteps:     telemetry.Default().Counter("circuit.dc.gmin_steps"),
+	luSolves:        telemetry.Default().Counter("circuit.lu_solves"),
+	convergeFail:    telemetry.Default().Counter("circuit.convergence_failures"),
+	tranSteps:       telemetry.Default().Counter("circuit.tran.steps"),
+	tranNewtonIters: telemetry.Default().Counter("circuit.tran.newton_iters"),
+	tranRetries:     telemetry.Default().Counter("circuit.tran.retries"),
+	acSolves:        telemetry.Default().Counter("circuit.ac.solves"),
+	newtonIterHist:  telemetry.Default().Histogram("circuit.newton_iters_per_solve", []float64{2, 4, 8, 16, 32, 64}),
+}
+
+// ConvergenceError carries the diagnostic state of a failed Newton
+// loop: how long it ran, how far it still was from the tolerance, and
+// which unknown was worst. It unwraps to ErrNoConvergence so existing
+// errors.Is checks keep working.
+type ConvergenceError struct {
+	// Analysis is "dc" or "tran".
+	Analysis string
+	// Iterations is how many Newton iterations ran before giving up.
+	Iterations int
+	// Residual is the last update norm ‖Δx‖∞ in volts (the convergence
+	// measure the loop tests against VTol).
+	Residual float64
+	// WorstNode names the unknown with the largest update: a node name,
+	// or "I(<element>)" for a branch current.
+	WorstNode string
+	// Gmin is the shunt conductance active during the failed loop (0
+	// for the plain pass).
+	Gmin float64
+	// Time is the transient timepoint (0 for DC).
+	Time float64
+}
+
+func (e *ConvergenceError) Error() string {
+	msg := fmt.Sprintf("circuit: %s analysis did not converge after %d iterations: |dV|=%g at %s (tolerance not met)",
+		e.Analysis, e.Iterations, e.Residual, e.WorstNode)
+	if e.Gmin > 0 {
+		msg += fmt.Sprintf(" [gmin=%g]", e.Gmin)
+	}
+	if e.Time != 0 {
+		msg += fmt.Sprintf(" [t=%g]", e.Time)
+	}
+	return msg
+}
+
+// Unwrap keeps errors.Is(err, ErrNoConvergence) true.
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
+
+// unknownName returns the display name of MNA unknown i: the node
+// name, or I(elem) for a branch-current row.
+func (ix *indexer) unknownName(i int) string {
+	for name, idx := range ix.node {
+		if idx == i {
+			return name
+		}
+	}
+	// Every branch element in the library owns one row, so the first
+	// branch row carries the element's name.
+	for name, idx := range ix.branch {
+		if i == idx {
+			return "I(" + name + ")"
+		}
+	}
+	return fmt.Sprintf("x[%d]", i)
+}
+
+// SetTrace attaches a solve trace to the circuit: every Newton solve
+// and transient step emits structured events ("circuit.dc.solve",
+// "circuit.tran.step", ...). A nil trace (the default) is free. Set it
+// before running analyses.
+func (c *Circuit) SetTrace(tr *telemetry.Trace) { c.trace = tr }
+
+// Trace returns the attached solve trace, or nil.
+func (c *Circuit) Trace() *telemetry.Trace { return c.trace }

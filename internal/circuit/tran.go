@@ -3,6 +3,8 @@ package circuit
 import (
 	"fmt"
 	"math"
+
+	"cntfet/internal/telemetry"
 )
 
 // TranOptions configures a transient analysis.
@@ -46,8 +48,15 @@ func (c *Circuit) Transient(opt TranOptions) ([]*Solution, error) {
 		st.Dt = opt.Step
 		st.Trapezoidal = opt.Trapezoidal
 		st.prev = prev
-		if err := c.newtonTran(st, x, opt.DC); err != nil {
+		iters, err := c.newtonTran(st, x, opt.DC)
+		if err != nil {
 			return out, fmt.Errorf("circuit: transient step at t=%g: %w", t, err)
+		}
+		if telemetry.On() {
+			metrics.tranSteps.Inc()
+		}
+		if c.trace.Enabled() {
+			c.trace.Emit("circuit.tran.step", t, "iters", iters, "dt", opt.Step)
 		}
 		now := &Solution{ix: ix, x: append([]float64(nil), x...), Time: t}
 		// Roll trapezoidal capacitor state.
@@ -66,9 +75,13 @@ func (c *Circuit) Transient(opt TranOptions) ([]*Solution, error) {
 
 // newtonTran is the per-step Newton loop; it differs from the DC loop
 // only in that the stamper carries time/dt context, which reset()
-// preserves.
-func (c *Circuit) newtonTran(st *Stamper, x []float64, opt DCOptions) error {
+// preserves. It returns the iteration count that reached convergence;
+// on failure the error is a *ConvergenceError with the last residual
+// and worst node.
+func (c *Circuit) newtonTran(st *Stamper, x []float64, opt DCOptions) (int, error) {
+	on := telemetry.On()
 	time, dt, trap, prev := st.Time, st.Dt, st.Trapezoidal, st.prev
+	worst, worstIx := 0.0, 0
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		st.reset(x)
 		st.Time, st.Dt, st.Trapezoidal, st.prev = time, dt, trap, prev
@@ -76,10 +89,14 @@ func (c *Circuit) newtonTran(st *Stamper, x []float64, opt DCOptions) error {
 			e.Stamp(st)
 		}
 		xNew, err := solveStamped(st)
-		if err != nil {
-			return err
+		if on {
+			metrics.luSolves.Inc()
+			metrics.tranNewtonIters.Inc()
 		}
-		worst := 0.0
+		if err != nil {
+			return iter, err
+		}
+		worst, worstIx = 0.0, 0
 		for i := range x {
 			d := xNew[i] - x[i]
 			if d > opt.MaxStep {
@@ -92,14 +109,31 @@ func (c *Circuit) newtonTran(st *Stamper, x []float64, opt DCOptions) error {
 				d = -d
 			}
 			if d > worst {
-				worst = d
+				worst, worstIx = d, i
 			}
 		}
 		if worst < opt.VTol {
-			return nil
+			if on {
+				metrics.newtonIterHist.Observe(float64(iter + 1))
+			}
+			return iter + 1, nil
 		}
 	}
-	return ErrNoConvergence
+	if on {
+		metrics.convergeFail.Inc()
+	}
+	cerr := &ConvergenceError{
+		Analysis:   "tran",
+		Iterations: opt.MaxIter,
+		Residual:   worst,
+		WorstNode:  st.ix.unknownName(worstIx),
+		Time:       time,
+	}
+	if c.trace.Enabled() {
+		c.trace.Emit("circuit.converge_fail", time,
+			"iters", cerr.Iterations, "worst_dv", worst, "dt", dt)
+	}
+	return opt.MaxIter, cerr
 }
 
 // TranAdaptiveOptions configures an adaptive-step transient analysis.
@@ -179,10 +213,22 @@ func (c *Circuit) TransientAdaptive(opt TranAdaptiveOptions) ([]*Solution, error
 			}
 		}
 		if lte > opt.Tol && h > opt.MinStep {
+			if telemetry.On() {
+				metrics.tranRetries.Inc()
+			}
+			if c.trace.Enabled() {
+				c.trace.Emit("circuit.tran.retry", prev.Time, "lte", lte, "dt", h)
+			}
 			h = math.Max(h/2, opt.MinStep)
 			continue // retry the step
 		}
 		// Accept the more accurate half-step composition.
+		if telemetry.On() {
+			metrics.tranSteps.Inc()
+		}
+		if c.trace.Enabled() {
+			c.trace.Emit("circuit.tran.step", half.Time, "lte", lte, "dt", h)
+		}
 		out = append(out, half)
 		prev = half
 		if lte < opt.Tol/4 && h < opt.MaxStep {
@@ -200,7 +246,7 @@ func (c *Circuit) stepBE(prev *Solution, dt float64, opt DCOptions) (*Solution, 
 	st.Dt = dt
 	st.prev = prev
 	x := append([]float64(nil), prev.x...)
-	if err := c.newtonTran(st, x, opt); err != nil {
+	if _, err := c.newtonTran(st, x, opt); err != nil {
 		return nil, fmt.Errorf("circuit: adaptive step at t=%g: %w", st.Time, err)
 	}
 	return &Solution{ix: ix, x: x, Time: prev.Time + dt}, nil

@@ -4,7 +4,40 @@ import (
 	"math"
 
 	"cntfet/internal/fettoy"
+	"cntfet/internal/telemetry"
 )
+
+// Region-dispatch branches of the closed-form solve, used as indices
+// into the dispatch counter array. The split mirrors solveMonotoneCubic:
+// which closed-form root formula the bracketed region required.
+const (
+	dispatchNone      = iota // no root in region / break-buffer overflow
+	dispatchLinear           // degree-1 region
+	dispatchQuadratic        // degree-2 region
+	dispatchCardano          // cubic, one real root (Cardano)
+	dispatchTrig             // cubic, three real roots (trigonometric)
+	dispatchCount
+)
+
+// metrics holds the pre-resolved telemetry handles of the piecewise
+// solver. Unlike the reference model, this path runs in ~0.2 µs, so
+// every call site gates on telemetry.On() — with the gate off the only
+// cost is one atomic bool load per solve.
+var metrics = struct {
+	solves          *telemetry.Counter
+	dispatch        [dispatchCount]*telemetry.Counter
+	fallbackGeneric *telemetry.Counter
+}{
+	solves: telemetry.Default().Counter("core.solves"),
+	dispatch: [dispatchCount]*telemetry.Counter{
+		telemetry.Default().Counter("core.dispatch.none"),
+		telemetry.Default().Counter("core.dispatch.linear"),
+		telemetry.Default().Counter("core.dispatch.quadratic"),
+		telemetry.Default().Counter("core.dispatch.cardano"),
+		telemetry.Default().Counter("core.dispatch.trig"),
+	},
+	fallbackGeneric: telemetry.Default().Counter("core.fallback_generic"),
+}
 
 // The hot path of the paper: solving the self-consistent voltage
 // equation in closed form. The generic piecewise machinery in
@@ -41,7 +74,7 @@ func (c cubic) shifted(h float64) cubic {
 // quantum-capacitance term), so the sign of F at the merged breakpoints
 // brackets the root into exactly one region, where the closed-form
 // root of the region's polynomial applies (paper section V).
-func (m *Model) solveVSCFast(ul, vds float64) (float64, bool) {
+func (m *Model) solveVSCFast(ul, vds float64) (float64, int, bool) {
 	// Merged breakpoints: QS(V) changes pieces at b_i, QS(V+vds) at
 	// b_i - vds. The paper's models have <= 3 breaks; custom specs up
 	// to 8 breaks still fit the stack buffer, beyond that the caller
@@ -49,7 +82,7 @@ func (m *Model) solveVSCFast(ul, vds float64) (float64, bool) {
 	// sort.Float64s at this size and does not escape.
 	var cand [16]float64
 	if 2*len(m.fastBreaks) > len(cand) {
-		return 0, false
+		return 0, dispatchNone, false
 	}
 	n := 0
 	for _, b := range m.fastBreaks {
@@ -88,6 +121,16 @@ func (m *Model) solveVSCFast(ul, vds float64) (float64, bool) {
 
 	f := m.fTotal(pick(lo, hi), ul, vds)
 	return solveMonotoneCubic(f, lo, hi)
+}
+
+// countDispatch records one fast-path solve outcome; the caller gates
+// on telemetry.On() so the disabled path stays branch-only.
+func countDispatch(branch int, ok bool) {
+	metrics.solves.Inc()
+	metrics.dispatch[branch].Inc()
+	if !ok {
+		metrics.fallbackGeneric.Inc()
+	}
 }
 
 // pick returns a representative point inside (lo, hi].
@@ -145,8 +188,10 @@ func (m *Model) qsFast(x float64) float64 {
 // solveMonotoneCubic finds the root of an increasing polynomial of
 // degree <= 3 inside (lo, hi], in closed form, with a final Newton
 // polish. ok is false when no root lies in the interval (which for a
-// monotone residual means the bracketing logic failed upstream).
-func solveMonotoneCubic(c cubic, lo, hi float64) (float64, bool) {
+// monotone residual means the bracketing logic failed upstream). The
+// middle return reports which dispatch branch produced the root, for
+// the region-dispatch histogram.
+func solveMonotoneCubic(c cubic, lo, hi float64) (float64, int, bool) {
 	const tol = 1e-12
 	try := func(r float64) (float64, bool) {
 		if (math.IsInf(lo, -1) || r >= lo-tol) && (math.IsInf(hi, 1) || r <= hi+tol) {
@@ -173,10 +218,12 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, bool) {
 		if disc > 0 {
 			sq := math.Sqrt(disc)
 			r := math.Cbrt(-q/2+sq) + math.Cbrt(-q/2-sq) + shift
-			return try(r)
+			v, ok := try(r)
+			return v, dispatchCardano, ok
 		}
 		if p == 0 {
-			return try(shift)
+			v, ok := try(shift)
+			return v, dispatchCardano, ok
 		}
 		mmod := 2 * math.Sqrt(-p/3)
 		arg := 3 * q / (p * mmod)
@@ -189,14 +236,14 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, bool) {
 		for k := 0; k < 3; k++ {
 			r := mmod*math.Cos(theta-2*math.Pi*float64(k)/3) + shift
 			if v, ok := try(r); ok {
-				return v, true
+				return v, dispatchTrig, true
 			}
 		}
-		return 0, false
+		return 0, dispatchNone, false
 	case c[2] != 0:
 		disc := c[1]*c[1] - 4*c[2]*c[0]
 		if disc < 0 {
-			return 0, false
+			return 0, dispatchNone, false
 		}
 		sq := math.Sqrt(disc)
 		var qq float64
@@ -206,16 +253,18 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, bool) {
 			qq = -0.5 * (c[1] - sq)
 		}
 		if v, ok := try(qq / c[2]); ok {
-			return v, true
+			return v, dispatchQuadratic, true
 		}
 		if qq != 0 {
-			return try(c[0] / qq)
+			v, ok := try(c[0] / qq)
+			return v, dispatchQuadratic, ok
 		}
-		return 0, false
+		return 0, dispatchNone, false
 	case c[1] != 0:
-		return try(-c[0] / c[1])
+		v, ok := try(-c[0] / c[1])
+		return v, dispatchLinear, ok
 	default:
-		return 0, false
+		return 0, dispatchNone, false
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"cntfet/internal/fermi"
 	"cntfet/internal/fettoy"
 	"cntfet/internal/poly"
+	"cntfet/internal/telemetry"
 	"cntfet/internal/units"
 )
 
@@ -126,7 +127,11 @@ func (m *Model) QD(vsc, vds float64) float64 { return m.qs.At(vsc+vds) - m.qn0Ha
 // region (F is strictly increasing) and applies the closed-form root —
 // no iteration, no integration. This is the paper's core speed claim.
 func (m *Model) SolveVSC(b fettoy.Bias) (float64, error) {
-	if v, ok := m.solveVSCFast(m.ulEff(b), b.VD-b.VS); ok {
+	v, branch, ok := m.solveVSCFast(m.ulEff(b), b.VD-b.VS)
+	if telemetry.On() {
+		countDispatch(branch, ok)
+	}
+	if ok {
 		return v, nil
 	}
 	// The fast path only fails on pathological fits; fall back to the

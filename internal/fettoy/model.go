@@ -3,14 +3,39 @@ package fettoy
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"cntfet/internal/bandstruct"
 	"cntfet/internal/fermi"
 	"cntfet/internal/quad"
 	"cntfet/internal/rootfind"
+	"cntfet/internal/telemetry"
 	"cntfet/internal/units"
 )
+
+// metrics holds the pre-resolved telemetry handles of the reference
+// model. The instruments live in the process-wide registry (stable
+// across Reset), so every Model shares them; per-model deltas come
+// from construction-time baselines (see Counters). Recording is
+// unconditional: one quadrature integral costs ~10 µs, so a handful of
+// atomic adds are far below noise, and diagnostics stay live even with
+// the telemetry gate off.
+var metrics = struct {
+	integralEvals   *telemetry.Counter
+	quadPoints      *telemetry.Counter
+	newtonIters     *telemetry.Counter
+	bracketFailures *telemetry.Counter
+	solves          *telemetry.Counter
+	solveTime       *telemetry.Timer
+	solveIters      *telemetry.Histogram
+}{
+	integralEvals:   telemetry.Default().Counter("fettoy.integral_evals"),
+	quadPoints:      telemetry.Default().Counter("fettoy.quad_points"),
+	newtonIters:     telemetry.Default().Counter("fettoy.newton_iters"),
+	bracketFailures: telemetry.Default().Counter("fettoy.bracket_failures"),
+	solves:          telemetry.Default().Counter("fettoy.solves"),
+	solveTime:       telemetry.Default().Timer("fettoy.solve_time"),
+	solveIters:      telemetry.Default().Histogram("fettoy.solve_iters", []float64{2, 4, 8, 16, 32, 64}),
+}
 
 // Model is the theoretical (FETToy-equivalent) ballistic CNT transistor.
 // It is safe for concurrent use after construction.
@@ -26,10 +51,14 @@ type Model struct {
 	// scale of one integral.
 	quadTol float64
 
-	// Stats accumulate across calls; read them with Counters. Atomic,
-	// so concurrent sweeps stay race-free.
-	integralEvals atomic.Int64
-	newtonIters   atomic.Int64
+	// baseIntegrals/baseNewton snapshot the shared registry counters at
+	// construction so Counters can report per-model deltas.
+	baseIntegrals int64
+	baseNewton    int64
+
+	// trace, when set (before any concurrent use), receives the
+	// per-iteration residual trajectory of every VSC solve.
+	trace *telemetry.Trace
 }
 
 // New validates the device and precomputes the equilibrium density N0.
@@ -44,10 +73,20 @@ func New(dev Device) (*Model, error) {
 		kT:      dev.KT(),
 		csigma:  dev.CSigma(),
 		quadTol: 1e-8 * bandstruct.D0(),
+		// Snapshot before the N0 evaluation below so construction work
+		// is attributed to this model, as it was with the old atomics.
+		baseIntegrals: metrics.integralEvals.Value(),
+		baseNewton:    metrics.newtonIters.Value(),
 	}
 	m.n0 = m.N(dev.EF)
 	return m, nil
 }
+
+// SetTrace attaches a solve trace: every SolveVSC records its
+// per-iteration residual trajectory as "fettoy.newton" events and a
+// "fettoy.solve" summary event. Set it before sharing the model across
+// goroutines; a nil trace (the default) is free.
+func (m *Model) SetTrace(tr *telemetry.Trace) { m.trace = tr }
 
 // Device returns the parameter set the model was built from.
 func (m *Model) Device() Device { return m.dev }
@@ -58,9 +97,13 @@ func (m *Model) N0() float64 { return m.n0 }
 
 // Counters reports how many state-density integrals and Newton
 // iterations the model has performed since construction — the cost the
-// piecewise approximation removes.
+// piecewise approximation removes. It is a compatibility shim over the
+// telemetry registry ("fettoy.*" instruments): the registry counters
+// are process-wide, so when several reference models solve
+// concurrently the per-model attribution is approximate.
 func (m *Model) Counters() (integrals, newtonIters int) {
-	return int(m.integralEvals.Load()), int(m.newtonIters.Load())
+	return int(metrics.integralEvals.Value() - m.baseIntegrals),
+		int(metrics.newtonIters.Value() - m.baseNewton)
 }
 
 // N evaluates the full state-density integral
@@ -72,8 +115,9 @@ func (m *Model) Counters() (integrals, newtonIters int) {
 // EF). The van Hove edge of each subband is integrated with the exact
 // sqrt substitution; the Fermi tail with a semi-infinite transform.
 func (m *Model) N(u float64) float64 {
-	m.integralEvals.Add(1)
+	metrics.integralEvals.Inc()
 	total := 0.0
+	points := 0
 	for _, b := range m.bands {
 		ep := b.EMin + m.e1         // minimum from mid-gap
 		eps0 := b.EMin              // minimum on the ε axis
@@ -82,6 +126,7 @@ func (m *Model) N(u float64) float64 {
 
 		// Edge panel: D_p(ε)f = [deg·(ε+E1)·f/(sqrt(ε+E1+Ep))] / sqrt(ε-εp).
 		g := func(eps float64) float64 {
+			points++
 			x := eps + m.e1
 			return deg * x * fermi.F(eps-u, m.kT) / math.Sqrt(x+ep)
 		}
@@ -93,6 +138,7 @@ func (m *Model) N(u float64) float64 {
 		}
 		// Smooth tail.
 		tail, err := quad.SemiInfinite(func(eps float64) float64 {
+			points++
 			x := eps + m.e1
 			return deg * x / math.Sqrt(x*x-ep*ep) * fermi.F(eps-u, m.kT)
 		}, eps0+w, m.quadTol)
@@ -101,14 +147,16 @@ func (m *Model) N(u float64) float64 {
 		}
 		total += edge + tail
 	}
+	metrics.quadPoints.Add(int64(points))
 	return total
 }
 
 // NPrime evaluates dN/dU >= 0 (states/m per eV), the quantum
 // capacitance integrand, with the same singular/tail splitting as N.
 func (m *Model) NPrime(u float64) float64 {
-	m.integralEvals.Add(1)
+	metrics.integralEvals.Inc()
 	total := 0.0
+	points := 0
 	for _, b := range m.bands {
 		ep := b.EMin + m.e1
 		eps0 := b.EMin
@@ -116,16 +164,19 @@ func (m *Model) NPrime(u float64) float64 {
 		deg := float64(b.Degeneracy) / 2 * bandstruct.D0()
 
 		g := func(eps float64) float64 {
+			points++
 			x := eps + m.e1
 			return deg * x * -fermi.DF(eps-u, m.kT) / math.Sqrt(x+ep)
 		}
 		edge, _ := quad.SqrtSingularUpper(g, eps0, eps0+w, m.quadTol)
 		tail, _ := quad.SemiInfinite(func(eps float64) float64 {
+			points++
 			x := eps + m.e1
 			return deg * x / math.Sqrt(x*x-ep*ep) * -fermi.DF(eps-u, m.kT)
 		}, eps0+w, m.quadTol)
 		total += edge + tail
 	}
+	metrics.quadPoints.Add(int64(points))
 	return total
 }
 
@@ -183,17 +234,35 @@ func (m *Model) SolveVSC(b Bias) (float64, SolveStats, error) {
 		return 1 + 0.5*qcs*(m.NPrime(m.dev.EF-v)+m.NPrime(m.dev.EF-v-vds))
 	}
 
+	metrics.solves.Inc()
+	if telemetry.On() {
+		defer metrics.solveTime.Start()()
+	}
+
 	// The zero-charge solution -UL is the natural start; expand a
 	// bracket around it (g is strictly increasing).
 	lo, hi, err := rootfind.ExpandBracket(g, -ul-0.5, -ul+0.5, 40)
 	if err != nil {
+		metrics.bracketFailures.Inc()
 		return 0, SolveStats{}, fmt.Errorf("fettoy: no bracket for VSC at %+v: %w", b, err)
 	}
-	res, err := rootfind.Newton(g, dg, -ul, lo, hi, rootfind.Options{XTol: 1e-12, MaxIter: 100})
+	opt := rootfind.Options{XTol: 1e-12, MaxIter: 100}
+	if m.trace.Enabled() {
+		opt.OnIter = func(iter int, v, fv float64) {
+			m.trace.Emit("fettoy.newton", 0, "iter", iter, "v", v, "residual", fv, "vg", b.VG, "vd", b.VD)
+		}
+	}
+	res, err := rootfind.Newton(g, dg, -ul, lo, hi, opt)
 	if err != nil {
 		return 0, SolveStats{}, fmt.Errorf("fettoy: VSC solve failed at %+v: %w", b, err)
 	}
-	m.newtonIters.Add(int64(res.Iterations))
+	metrics.newtonIters.Add(int64(res.Iterations))
+	metrics.solveIters.Observe(float64(res.Iterations))
+	if m.trace.Enabled() {
+		m.trace.Emit("fettoy.solve", 0,
+			"vg", b.VG, "vd", b.VD, "vs", b.VS, "vsc", res.Root,
+			"iters", res.Iterations, "fevals", res.FuncEvals)
+	}
 	return res.Root, SolveStats{Iterations: res.Iterations, FuncEvals: res.FuncEvals}, nil
 }
 

@@ -54,12 +54,27 @@ type Probe struct {
 	Name string // node or source name
 }
 
+// Options are deck-level directives from .options cards:
+//
+//	.options trace metrics tracecap=8192
+//
+// trace attaches a solver event trace to every analysis and appends it
+// to the output as JSON lines; metrics appends the telemetry counters
+// as "* "-prefixed comment lines; tracecap sizes the trace ring buffer
+// (default 4096 events).
+type Options struct {
+	Trace    bool
+	Metrics  bool
+	TraceCap int
+}
+
 // Deck is a parsed netlist.
 type Deck struct {
 	Title    string
 	Circuit  *circuit.Circuit
 	Analyses []Analysis
 	Probes   []Probe
+	Options  Options
 
 	models map[string]*modelCard
 }
@@ -123,6 +138,9 @@ func (d *Deck) parseCard(line string) error {
 	switch {
 	case strings.HasPrefix(low, ".end"):
 		return nil
+	// .options must be matched before the .op prefix.
+	case strings.HasPrefix(low, ".option"):
+		return d.parseOptions(line)
 	case strings.HasPrefix(low, ".op"):
 		d.Analyses = append(d.Analyses, Analysis{Kind: "op"})
 		return nil
@@ -138,6 +156,31 @@ func (d *Deck) parseCard(line string) error {
 		return fmt.Errorf("unknown card %q", strings.Fields(line)[0])
 	}
 	return d.parseElement(line)
+}
+
+// parseOptions handles ".options key [key=value ...]".
+func (d *Deck) parseOptions(line string) error {
+	for _, tok := range strings.Fields(line)[1:] {
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch strings.ToLower(key) {
+		case "trace":
+			d.Options.Trace = true
+		case "metrics":
+			d.Options.Metrics = true
+		case "tracecap":
+			if !hasVal {
+				return fmt.Errorf(".options tracecap needs a value")
+			}
+			n, err := ParseValue(val)
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad .options tracecap %q", val)
+			}
+			d.Options.TraceCap = int(n)
+		default:
+			return fmt.Errorf("unknown .options key %q", key)
+		}
+	}
+	return nil
 }
 
 func (d *Deck) parseDC(line string) error {

@@ -6,14 +6,33 @@ import (
 
 	"cntfet/internal/circuit"
 	"cntfet/internal/report"
+	"cntfet/internal/telemetry"
 )
 
 // Run executes every analysis in deck order and writes tabular results
 // to w. Probes from .print select the columns; without probes, all
 // node voltages are printed.
+//
+// ".options trace" / ".options metrics" enable the process-wide
+// telemetry gate for the run and append, respectively, the solver
+// event log (JSON lines) and the counter snapshot ("* "-prefixed) to
+// the output. A trace already attached to the circuit (e.g. by the
+// cntspice -trace flag) is left alone — the caller owns its export.
 func (d *Deck) Run(w io.Writer) error {
 	if len(d.Analyses) == 0 {
 		return fmt.Errorf("netlist: deck has no analyses (.op/.dc/.tran)")
+	}
+	if d.Options.Trace || d.Options.Metrics {
+		telemetry.Enable()
+	}
+	var ownTrace *telemetry.Trace
+	if d.Options.Trace && d.Circuit.Trace() == nil {
+		capacity := d.Options.TraceCap
+		if capacity == 0 {
+			capacity = 4096
+		}
+		ownTrace = telemetry.NewTrace(capacity)
+		d.Circuit.SetTrace(ownTrace)
 	}
 	for _, a := range d.Analyses {
 		switch a.Kind {
@@ -35,6 +54,21 @@ func (d *Deck) Run(w io.Writer) error {
 			}
 		default:
 			return fmt.Errorf("netlist: unknown analysis %q", a.Kind)
+		}
+	}
+	if ownTrace != nil {
+		fmt.Fprintln(w, "* trace events (json lines):")
+		if err := ownTrace.WriteJSON(w); err != nil {
+			return fmt.Errorf("netlist: trace export: %w", err)
+		}
+		if n := ownTrace.Dropped(); n > 0 {
+			fmt.Fprintf(w, "* trace ring dropped %d oldest events (raise .options tracecap)\n", n)
+		}
+	}
+	if d.Options.Metrics {
+		fmt.Fprintln(w, "* solver metrics:")
+		if err := telemetry.Default().WriteText(w, "* "); err != nil {
+			return fmt.Errorf("netlist: metrics export: %w", err)
 		}
 	}
 	return nil

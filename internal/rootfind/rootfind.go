@@ -24,6 +24,10 @@ type Options struct {
 	FTol float64
 	// MaxIter bounds the iteration count.
 	MaxIter int
+	// OnIter, when non-nil, observes each Newton iteration after the
+	// residual evaluation: iteration number (1-based), current iterate
+	// and residual. Used by telemetry tracing; leave nil on hot paths.
+	OnIter func(iter int, x, fx float64)
 }
 
 // Default returns the options used throughout the library when the
@@ -114,6 +118,9 @@ func Newton(f, df func(float64) float64, x0, lo, hi float64, opt Options) (Resul
 		res.Iterations = i + 1
 		fx := f(x)
 		res.FuncEvals++
+		if opt.OnIter != nil {
+			opt.OnIter(i+1, x, fx)
+		}
 		if fx == 0 || (opt.FTol > 0 && math.Abs(fx) < opt.FTol) {
 			res.Root = x
 			return res, nil

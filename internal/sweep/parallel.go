@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cntfet/internal/fettoy"
+	"cntfet/internal/telemetry"
 )
 
 // FamilyParallel evaluates a curve family with worker goroutines, one
@@ -36,13 +37,23 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 	var mu sync.Mutex
 	var firstErr error
 
+	// Per-worker instruments live under sweep.worker.<i>; points/sec
+	// per worker is the counter over the timer. Handles are resolved
+	// before the workers start so the hot loop only counts locally.
+	on := telemetry.On()
+	reg := telemetry.Default()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			points, errs := 0, 0
+			if on {
+				defer reg.Timer(fmt.Sprintf("sweep.worker.%d.time", w)).Start()()
+			}
 			for tk := range tasks {
 				ids, err := m.IDS(fettoy.Bias{VG: vgs[tk.gi], VD: vds[tk.vi]})
 				if err != nil {
+					errs++
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("sweep: VG=%g VDS=%g: %w", vgs[tk.gi], vds[tk.vi], err)
@@ -50,9 +61,15 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 					mu.Unlock()
 					continue
 				}
+				points++
 				out[tk.gi].IDS[tk.vi] = ids
 			}
-		}()
+			if on {
+				reg.Counter(fmt.Sprintf("sweep.worker.%d.points", w)).Add(int64(points))
+				reg.Counter("sweep.points").Add(int64(points))
+				reg.Counter("sweep.errors").Add(int64(errs))
+			}
+		}(w)
 	}
 	for gi := range vgs {
 		for vi := range vds {

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterTimerBasics(t *testing.T) {
+	r := NewRegistry(true)
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("get-or-create returned a different handle")
+	}
+	tm := r.Timer("a.t")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(5 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 8*time.Millisecond || tm.Mean() != 4*time.Millisecond {
+		t.Fatalf("timer stats = %d %s %s", tm.Count(), tm.Total(), tm.Mean())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var tm *Timer
+	var h *Histogram
+	var tr *Trace
+	c.Inc()
+	c.Add(3)
+	tm.Observe(time.Second)
+	tm.Start()()
+	h.Observe(1)
+	tr.Emit("x", 0)
+	if c.Value() != 0 || tm.Count() != 0 || h.Count() != 0 || tr.Len() != 0 || tr.Enabled() {
+		t.Fatal("nil instruments must be inert")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(true)
+	h := r.Histogram("iters", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("shape %d/%d", len(bounds), len(counts))
+	}
+	// SearchFloat64s: value v lands in the first bucket with bound >= v.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 106 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create and updates from many
+// goroutines; run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry(true)
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Timer("t.shared").Observe(time.Microsecond)
+				r.Histogram("h.shared", []float64{1, 10}).Observe(float64(i % 20))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Timer("t.shared").Count(); got != workers*perWorker {
+		t.Fatalf("timer count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h.shared", nil).Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestResetKeepsHandles(t *testing.T) {
+	r := NewRegistry(true)
+	c := r.Counter("x")
+	c.Add(7)
+	tm := r.Timer("y")
+	tm.Observe(time.Second)
+	r.Reset()
+	if c.Value() != 0 || tm.Count() != 0 {
+		t.Fatal("reset did not zero values")
+	}
+	c.Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("handle detached after reset")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry(true)
+	r.Counter("fettoy.newton_iters").Add(42)
+	r.Timer("solve").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["fettoy.newton_iters"] != 42 {
+		t.Fatalf("roundtrip lost counter: %+v", s)
+	}
+	buf.Reset()
+	if err := r.WriteText(&buf, "# "); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# fettoy.newton_iters 42") {
+		t.Fatalf("text export missing counter:\n%s", buf.String())
+	}
+}
+
+func TestTraceRingAndExport(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("step", float64(i), "iter", i, "res", 0.5)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("ring kept wrong window: %+v", evs)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Kind != "step" || ev.Fields["res"] != 0.5 {
+			t.Fatalf("bad event %+v", ev)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("exported %d lines, want 4", lines)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit("ev", float64(i), "w", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("len = %d, want 64", tr.Len())
+	}
+	if got := tr.Dropped() + int64(tr.Len()); got != 8*500 {
+		t.Fatalf("retained+dropped = %d, want %d", got, 8*500)
+	}
+}
+
+func TestDefaultRegistryGate(t *testing.T) {
+	if On() {
+		t.Fatal("default registry must start disabled")
+	}
+	Enable()
+	defer Disable()
+	if !On() {
+		t.Fatal("Enable did not flip the gate")
+	}
+}
