@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench benchsmoke
 
-## check: the tier-1 gate — vet, build, race-enabled tests.
-check: vet build race
+## check: the tier-1 gate — vet, build, race-enabled tests, and a
+## build-only smoke of the sweep benchmark (tiny grid, no timing
+## assertion: timing under a loaded CI machine is noise).
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: telemetry overhead + solver benchmarks.
+## bench: telemetry overhead + solver benchmarks, then the before/after
+## sweep-engine comparison. Writes BENCH_sweep.json at the repo root and
+## fails if the batched engine is slower than the legacy scheduler.
 bench:
 	$(GO) test -bench=IDSTelemetry -benchmem ./internal/core/
+	$(GO) run ./cmd/cntbench -sweepbench -assert-faster -out BENCH_sweep.json
+
+benchsmoke:
+	$(GO) run ./cmd/cntbench -sweepbench -points 9 -repeats 1 -out /dev/null

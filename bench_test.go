@@ -29,6 +29,7 @@ import (
 // benchmark's setup.
 type sharedModels struct {
 	ref    *Reference
+	refTab *Reference // identical device, ChargeTable attached and built
 	m1, m2 *Piecewise
 }
 
@@ -51,7 +52,12 @@ func getShared(b *testing.B) *sharedModels {
 	if err != nil {
 		b.Fatal(err)
 	}
-	shared = &sharedModels{ref: ref, m1: m1, m2: m2}
+	refTab, err := NewReference(DefaultDevice())
+	if err != nil {
+		b.Fatal(err)
+	}
+	refTab.EnableTable(TableOptions{}).Build()
+	shared = &sharedModels{ref: ref, refTab: refTab, m1: m1, m2: m2}
 	return shared
 }
 
@@ -453,6 +459,77 @@ func BenchmarkFamilySerial_FETToy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Family(s.ref, vgs, vds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Legacy point-per-task scheduler vs the chunked warm-starting one, on
+// the same direct-quadrature reference (isolates scheduling +
+// continuation from tabulation; cntbench -sweepbench measures the
+// combined engine).
+func BenchmarkFamilyParallel_Legacy(b *testing.B) {
+	s := getShared(b)
+	vgs := sweep.PaperGates()
+	vds := units.Linspace(0, 0.6, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.FamilyParallelLegacy(s.ref, vgs, vds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFamilyParallel_Chunked(b *testing.B) {
+	s := getShared(b)
+	vgs := sweep.PaperGates()
+	vds := units.Linspace(0, 0.6, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.FamilyParallel(s.ref, vgs, vds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One self-consistent solve through each path. -benchmem is the
+// allocation assertion for the tabulated paths: Table and WarmStart
+// must report 0 B/op (the hard guarantee is TestTableLookupZeroAlloc
+// in internal/fettoy).
+func BenchmarkSolveVSC_Direct(b *testing.B) {
+	s := getShared(b)
+	bias := Bias{VG: 0.5, VD: 0.3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ref.SolveVSC(bias); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveVSC_Table(b *testing.B) {
+	s := getShared(b)
+	bias := Bias{VG: 0.5, VD: 0.3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.refTab.SolveVSC(bias); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveVSC_WarmStart(b *testing.B) {
+	s := getShared(b)
+	bias := Bias{VG: 0.5, VD: 0.3}
+	vsc, _, err := s.refTab.SolveVSC(bias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.refTab.SolveVSCFrom(bias, vsc); err != nil {
 			b.Fatal(err)
 		}
 	}

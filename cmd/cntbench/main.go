@@ -40,8 +40,20 @@ func main() {
 	points := flag.Int("points", 61, "VDS points per curve")
 	metrics := flag.Bool("metrics", false, "emit JSON with timing table and solver-work counters")
 	traceFile := flag.String("trace", "", "write reference-solve event log (JSON lines) to this file")
+	sweepBench := flag.Bool("sweepbench", false, "run the legacy-vs-batched sweep engine comparison instead of Table I")
+	out := flag.String("out", "BENCH_sweep.json", "sweepbench: output file (- for stdout)")
+	repeats := flag.Int("repeats", 5, "sweepbench: timed repetitions per path")
+	workers := flag.Int("workers", 0, "sweepbench: sweep workers (0 = GOMAXPROCS)")
+	assertFaster := flag.Bool("assert-faster", false, "sweepbench: exit non-zero if the batched path is slower")
 	flag.Parse()
 
+	if *sweepBench {
+		if err := runSweepBench(*points, *repeats, *workers, *out, *assertFaster); err != nil {
+			fmt.Fprintln(os.Stderr, "cntbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	counts, err := parseInts(*loops)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cntbench:", err)

@@ -46,6 +46,59 @@ func TestRunSingleLoop(t *testing.T) {
 	}
 }
 
+// TestRunSweepBenchJSON checks the before/after sweep benchmark: the
+// document must carry both paths' timings and counter deltas, the
+// batched path must do dramatically less quadrature work, and the two
+// engines must agree on IDS.
+func TestRunSweepBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	defer telemetry.Disable()
+	out := t.TempDir() + "/BENCH_sweep.json"
+	if err := runSweepBench(13, 1, 2, out, false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not one JSON document: %v\n%s", err, raw)
+	}
+	if doc.Gates != 7 || doc.Points != 13 || doc.Repeats != 1 {
+		t.Fatalf("grid metadata: %+v", doc)
+	}
+	wantPoints := int64(doc.Gates * doc.Points)
+	for _, st := range []sweepPathStat{doc.Legacy, doc.Batched} {
+		if st.Seconds <= 0 || st.PointsPerSec <= 0 {
+			t.Fatalf("degenerate timing: %+v", st)
+		}
+		if st.Counters["sweep.points"] != wantPoints {
+			t.Fatalf("sweep.points = %d, want %d", st.Counters["sweep.points"], wantPoints)
+		}
+	}
+	if doc.Legacy.Counters["fettoy.integral_evals"] == 0 {
+		t.Fatal("legacy path did no quadrature")
+	}
+	// The batched path serves the timed window from the table: at
+	// least 10x fewer integrals (the acceptance bar) and table hits.
+	if doc.IntegralEvalReduction < 10 {
+		t.Fatalf("integral eval reduction %.1fx, want >= 10x", doc.IntegralEvalReduction)
+	}
+	if doc.Batched.Counters["fettoy.table.hits"] == 0 {
+		t.Fatal("no table hits recorded")
+	}
+	if doc.TableNodes <= 0 || doc.TableBuildSeconds <= 0 {
+		t.Fatalf("table build not reported: %+v", doc)
+	}
+	// Accuracy cross-check: the two engines agree to well under 0.1%.
+	if doc.MaxRMSPercent >= 0.1 {
+		t.Fatalf("paths disagree: max RMS %g%%", doc.MaxRMSPercent)
+	}
+}
+
 // TestRunMetricsJSON checks the acceptance shape of `cntbench -metrics`:
 // one JSON document with a timing table and a counters block covering
 // quadrature work, Newton iterations and piecewise region dispatch.

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"cntfet"
+	"cntfet/internal/sweep"
+	"cntfet/internal/telemetry"
+)
+
+// The before/after sweep benchmark: the same reference-model family
+// grid driven through the legacy scheduler (point-per-task, cold
+// solves, direct quadrature) and through the batched engine (chunked
+// row scheduling, tabulated state density, warm-start continuation),
+// with the telemetry counter deltas that explain the speedup. Output
+// is one machine-readable JSON document (BENCH_sweep.json by default).
+
+// sweepPathStat is one side of the before/after comparison.
+type sweepPathStat struct {
+	Seconds      float64          `json:"seconds"`
+	PointsPerSec float64          `json:"points_per_sec"`
+	Counters     map[string]int64 `json:"counters"`
+}
+
+// sweepBenchDoc is the BENCH_sweep.json schema.
+type sweepBenchDoc struct {
+	Gates   int `json:"gates"`
+	Points  int `json:"points"`
+	Repeats int `json:"repeats"`
+	Workers int `json:"workers"`
+
+	Legacy  sweepPathStat `json:"legacy"`
+	Batched sweepPathStat `json:"batched"`
+
+	// Speedup is legacy seconds over batched seconds for the same grid.
+	Speedup float64 `json:"speedup"`
+	// IntegralEvalReduction is the legacy/batched ratio of
+	// fettoy.integral_evals in the timed window.
+	IntegralEvalReduction float64 `json:"integral_eval_reduction"`
+	// MaxRMSPercent is the worst per-gate RMS disagreement between the
+	// two paths' IDS families (the accuracy cross-check).
+	MaxRMSPercent float64 `json:"max_rms_percent"`
+
+	// TableBuildSeconds is the one-time tabulation cost, kept outside
+	// the timed windows; TableNodes is the adaptive grid size.
+	TableBuildSeconds float64 `json:"table_build_seconds"`
+	TableNodes        int64   `json:"table_nodes"`
+}
+
+// sweepCounterKeys are the registry deltas quoted per path.
+var sweepCounterKeys = []string{
+	"fettoy.integral_evals",
+	"fettoy.quad_points",
+	"fettoy.newton_iters",
+	"fettoy.solves",
+	"fettoy.table.hits",
+	"fettoy.table.misses",
+	"sweep.points",
+	"sweep.errors",
+}
+
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	d := make(map[string]int64, len(sweepCounterKeys))
+	for _, k := range sweepCounterKeys {
+		d[k] = after[k] - before[k]
+	}
+	return d
+}
+
+// runSweepBench executes the comparison and writes the JSON document to
+// outPath ("-" for stdout). assertFaster turns a batched-path
+// regression into a non-zero exit, for make bench.
+func runSweepBench(points, repeats, workers int, outPath string, assertFaster bool) error {
+	if points < 2 {
+		return fmt.Errorf("sweepbench: need at least 2 VDS points, got %d", points)
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	telemetry.Enable()
+	defer telemetry.Disable()
+	reg := telemetry.Default()
+
+	dev := cntfet.DefaultDevice()
+	refLegacy, err := cntfet.NewReference(dev)
+	if err != nil {
+		return err
+	}
+	refBatched, err := cntfet.NewReference(dev)
+	if err != nil {
+		return err
+	}
+	tbl := refBatched.EnableTable(cntfet.TableOptions{})
+
+	vgs := sweep.PaperGates()
+	vds := make([]float64, points)
+	for i := range vds {
+		vds[i] = 0.6 * float64(i) / float64(points-1)
+	}
+
+	// One-time table build, kept out of the timed window and reported
+	// separately: steady-state throughput is the quantity of interest,
+	// and the build amortises over every later sweep of the device.
+	buildStart := time.Now()
+	tbl.Build()
+	buildSeconds := time.Since(buildStart).Seconds()
+
+	// Untimed warm-up of both paths; the results double as the accuracy
+	// cross-check between the two engines.
+	famLegacy, err := sweep.FamilyParallelLegacy(refLegacy, vgs, vds, workers)
+	if err != nil {
+		return err
+	}
+	famBatched, err := sweep.FamilyParallel(refBatched, vgs, vds, workers)
+	if err != nil {
+		return err
+	}
+	errsRMS, err := sweep.CompareFamilies(famBatched, famLegacy)
+	if err != nil {
+		return err
+	}
+	maxRMS := 0.0
+	for _, e := range errsRMS {
+		if e > maxRMS {
+			maxRMS = e
+		}
+	}
+
+	timePath := func(run func() error) (sweepPathStat, error) {
+		before := reg.Snapshot().Counters
+		start := time.Now()
+		for i := 0; i < repeats; i++ {
+			if err := run(); err != nil {
+				return sweepPathStat{}, err
+			}
+		}
+		secs := time.Since(start).Seconds()
+		after := reg.Snapshot().Counters
+		st := sweepPathStat{
+			Seconds:  secs,
+			Counters: counterDelta(before, after),
+		}
+		if secs > 0 {
+			st.PointsPerSec = float64(repeats*len(vgs)*len(vds)) / secs
+		}
+		return st, nil
+	}
+
+	doc := sweepBenchDoc{
+		Gates:             len(vgs),
+		Points:            len(vds),
+		Repeats:           repeats,
+		Workers:           workers,
+		MaxRMSPercent:     maxRMS,
+		TableBuildSeconds: buildSeconds,
+		TableNodes:        int64(tbl.Nodes()),
+	}
+	doc.Legacy, err = timePath(func() error {
+		_, err := sweep.FamilyParallelLegacy(refLegacy, vgs, vds, workers)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	doc.Batched, err = timePath(func() error {
+		_, err := sweep.FamilyParallel(refBatched, vgs, vds, workers)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if doc.Batched.Seconds > 0 {
+		doc.Speedup = doc.Legacy.Seconds / doc.Batched.Seconds
+	}
+	legacyEvals := doc.Legacy.Counters["fettoy.integral_evals"]
+	batchedEvals := doc.Batched.Counters["fettoy.integral_evals"]
+	if batchedEvals < 1 {
+		batchedEvals = 1
+	}
+	doc.IntegralEvalReduction = float64(legacyEvals) / float64(batchedEvals)
+
+	var w io.Writer = os.Stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return fmt.Errorf("sweepbench: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if outPath != "-" {
+		fmt.Printf("sweepbench: %d gates x %d points x %d repeats, %d workers\n",
+			doc.Gates, doc.Points, doc.Repeats, doc.Workers)
+		fmt.Printf("  legacy   %.4gs (%.3g points/s)\n", doc.Legacy.Seconds, doc.Legacy.PointsPerSec)
+		fmt.Printf("  batched  %.4gs (%.3g points/s), table: %d nodes in %.4gs\n",
+			doc.Batched.Seconds, doc.Batched.PointsPerSec, doc.TableNodes, doc.TableBuildSeconds)
+		fmt.Printf("  speedup %.1fx, integral evals %d -> %d (%.0fx fewer), max RMS %.4g%%\n",
+			doc.Speedup, legacyEvals, doc.Batched.Counters["fettoy.integral_evals"],
+			doc.IntegralEvalReduction, doc.MaxRMSPercent)
+	}
+	if assertFaster && doc.Speedup < 1 {
+		return fmt.Errorf("sweepbench: batched path slower than legacy (%.2fx)", doc.Speedup)
+	}
+	return nil
+}

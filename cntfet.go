@@ -60,6 +60,14 @@ const (
 // baseline).
 type Reference = fettoy.Model
 
+// ChargeTable tabulates the reference model's state-density integral
+// for interpolated reuse; attach one with Reference.EnableTable to
+// serve sweep Newton iterations without re-integrating.
+type ChargeTable = fettoy.ChargeTable
+
+// TableOptions tunes a ChargeTable (range, accuracy bound, grid caps).
+type TableOptions = fettoy.TableOptions
+
 // Piecewise is the paper's fast closed-form model.
 type Piecewise = core.Model
 
@@ -160,11 +168,22 @@ func Family(m Transistor, vgs, vds []float64) ([]Curve, error) {
 	return sweep.Family(m, vgs, vds)
 }
 
-// FamilyParallel is Family with worker goroutines — worthwhile for the
-// reference model (~100 µs per point); the piecewise models are faster
-// serially than the scheduling overhead. workers <= 0 uses GOMAXPROCS.
+// FamilyParallel is Family with worker goroutines and chunked row
+// scheduling — worthwhile for the reference model (~100 µs per point
+// on direct quadrature, ~1 µs tabulated); the piecewise models are
+// faster serially than the scheduling overhead (use FamilyBatch).
+// Workers thread warm-start continuation along each VDS row. workers
+// <= 0 uses GOMAXPROCS.
 func FamilyParallel(m Transistor, vgs, vds []float64, workers int) ([]Curve, error) {
 	return sweep.FamilyParallel(m, vgs, vds, workers)
+}
+
+// FamilyBatch is Family through the models' batched evaluation path:
+// each VDS row is one IDSBatch call, which amortises per-point call
+// overhead for the piecewise models and threads warm-start
+// continuation for the reference model.
+func FamilyBatch(m Transistor, vgs, vds []float64) ([]Curve, error) {
+	return sweep.FamilyBatch(m, vgs, vds)
 }
 
 // RMSPercent computes the paper's per-curve error metric

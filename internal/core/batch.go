@@ -1,0 +1,42 @@
+package core
+
+import (
+	"cntfet/internal/fettoy"
+	"cntfet/internal/telemetry"
+)
+
+// IDSFrom implements the sweep package's warm-start interface. The
+// closed-form solve has no iteration state to warm, so the guess is
+// ignored; the solved VSC is still returned so chunked sweeps can
+// drive reference and piecewise models through one code path.
+func (m *Model) IDSFrom(b fettoy.Bias, _ float64) (ids, vsc float64, err error) {
+	vsc, err = m.SolveVSC(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.CurrentAtVSC(vsc, b), vsc, nil
+}
+
+// IDSBatch evaluates one current per bias into out (which must be at
+// least as long as bias), implementing the sweep package's batch
+// interface. The loop drives the stack-allocated fast solver directly,
+// so the per-point cost is the closed-form arithmetic itself — no
+// interface dispatch or per-point error wrapping. The telemetry gate
+// is hoisted out of the loop; region-dispatch counts are preserved.
+func (m *Model) IDSBatch(bias []fettoy.Bias, out []float64) error {
+	on := telemetry.On()
+	for i, b := range bias {
+		v, branch, ok := m.solveVSCFast(m.ulEff(b), b.VD-b.VS)
+		if on {
+			countDispatch(branch, ok)
+		}
+		if !ok {
+			var err error
+			if v, err = m.solveVSCGeneric(b); err != nil {
+				return err
+			}
+		}
+		out[i] = m.CurrentAtVSC(v, b)
+	}
+	return nil
+}

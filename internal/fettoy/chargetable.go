@@ -1,0 +1,239 @@
+package fettoy
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TableOptions tunes a ChargeTable. The zero value selects defaults
+// suitable for terminal voltages up to about ±1 V around the device's
+// operating region.
+type TableOptions struct {
+	// UMin, UMax bound the tabulated effective-Fermi-level range on the
+	// u axis the state-density integral N(u) is evaluated on (u = EF -
+	// VSC for the source term, shifted by -VDS for the drain term).
+	// Both zero selects [EF - 1.3, EF + 1.4], which covers the paper's
+	// 0..0.6 V bias grids including the cold-start bracket probes (the
+	// initial bracket reaches u = EF + UL + 0.5 ≤ EF + 1.05 on those
+	// grids). Lookups outside the range fall back to direct quadrature
+	// and count as misses.
+	UMin, UMax float64
+	// RelTol is the interpolation accuracy bound: the grid is refined
+	// until the cubic Hermite midpoint error on each interval is below
+	// RelTol·(|N| + 1e-9·scale), where scale is the largest tabulated
+	// density. Zero selects 1e-6, comfortably below the <0.1 % IDS
+	// agreement target.
+	RelTol float64
+	// InitIntervals is the uniform starting grid resolution before
+	// adaptive refinement. Zero selects 64.
+	InitIntervals int
+	// MaxNodes caps grid growth during refinement. Zero selects 8192.
+	MaxNodes int
+}
+
+func (o TableOptions) withDefaults(ef float64) TableOptions {
+	if o.UMin == 0 && o.UMax == 0 {
+		o.UMin, o.UMax = ef-1.3, ef+1.4
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-6
+	}
+	if o.InitIntervals <= 0 {
+		o.InitIntervals = 64
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 8192
+	}
+	return o
+}
+
+// tableData is the immutable, atomically published result of one build:
+// node positions with the exact N and N' values at each node. Between
+// nodes the table interpolates with the C¹ cubic Hermite spline those
+// values define.
+type tableData struct {
+	u, n, np []float64
+	scale    float64 // max tabulated |N|, the error-bound reference
+}
+
+// ChargeTable tabulates the state-density integral N(u) — the cost the
+// reference model pays at every Newton iteration — once per (device, T,
+// EF) and serves later evaluations by cubic Hermite interpolation. The
+// grid is adaptive: intervals are split until the interpolation error
+// at the midpoint is within the configured accuracy bound, so the node
+// count tracks kT (colder devices need finer grids near the band edge).
+//
+// A ChargeTable is safe for concurrent use: the first lookup triggers
+// exactly one build (later lookups block until it is published), and
+// the published grid is immutable afterwards. The table never
+// invalidates — it is keyed to its Model, whose device parameters are
+// fixed at construction; a new device, temperature or Fermi level means
+// a new Model and therefore a new table.
+//
+// Work is observable through the fettoy.table.* telemetry counters:
+// builds and nodes record construction cost, hits and misses record
+// how lookups split between interpolation and the direct-quadrature
+// fallback.
+type ChargeTable struct {
+	m    *Model
+	opt  TableOptions
+	once sync.Once
+	data atomic.Pointer[tableData]
+}
+
+// NewChargeTable prepares a table over the model's state density. The
+// build is lazy: the first lookup (from any goroutine) pays for it.
+func NewChargeTable(m *Model, opt TableOptions) *ChargeTable {
+	return &ChargeTable{m: m, opt: opt.withDefaults(m.dev.EF)}
+}
+
+// EnableTable attaches a charge table to the model and routes every
+// subsequent SolveVSC through it: Newton iterations evaluate the
+// tabulated N and N' instead of re-integrating the density of states.
+// Lookups outside the tabulated range fall back to direct quadrature,
+// so accuracy degrades to the error bound, never to garbage. Call it
+// before sharing the model across goroutines, like SetTrace; the
+// returned table can be inspected or pre-built with Build.
+func (m *Model) EnableTable(opt TableOptions) *ChargeTable {
+	t := NewChargeTable(m, opt)
+	m.table = t
+	return t
+}
+
+// Table returns the attached charge table, or nil when solves run on
+// direct quadrature.
+func (m *Model) Table() *ChargeTable { return m.table }
+
+// Build forces table construction now instead of on first lookup, so
+// callers can keep the one-time quadrature cost out of timed regions.
+func (t *ChargeTable) Build() { t.tab() }
+
+// Nodes returns the adaptive grid size (building the table if needed).
+func (t *ChargeTable) Nodes() int { return len(t.tab().u) }
+
+// Range returns the tabulated u interval.
+func (t *ChargeTable) Range() (umin, umax float64) { return t.opt.UMin, t.opt.UMax }
+
+// At returns the interpolated state density and its derivative at u,
+// falling back to the exact integrals outside the tabulated range.
+func (t *ChargeTable) At(u float64) (n, nprime float64) {
+	n, nprime, ok := t.eval(u)
+	if ok {
+		metrics.tableHits.Inc()
+		return n, nprime
+	}
+	metrics.tableMisses.Inc()
+	return t.m.N(u), t.m.NPrime(u)
+}
+
+// tab returns the built grid, building it exactly once on first use.
+func (t *ChargeTable) tab() *tableData {
+	if d := t.data.Load(); d != nil {
+		return d
+	}
+	t.once.Do(func() {
+		d := t.build()
+		t.data.Store(d)
+		metrics.tableBuilds.Inc()
+		metrics.tableNodes.Add(int64(len(d.u)))
+	})
+	return t.data.Load()
+}
+
+// eval is the allocation-free lookup the solver hot path uses: the
+// Hermite value and derivative at u, or ok=false outside the grid.
+func (t *ChargeTable) eval(u float64) (n, nprime float64, ok bool) {
+	d := t.tab()
+	xs := d.u
+	if u < xs[0] || u > xs[len(xs)-1] {
+		return 0, 0, false
+	}
+	i := sort.SearchFloat64s(xs, u)
+	if i == 0 {
+		return d.n[0], d.np[0], true
+	}
+	u0, u1 := xs[i-1], xs[i]
+	h := u1 - u0
+	tt := (u - u0) / h
+	n0, n1 := d.n[i-1], d.n[i]
+	m0, m1 := d.np[i-1]*h, d.np[i]*h
+	t2 := tt * tt
+	t3 := t2 * tt
+	n = n0*(2*t3-3*t2+1) + m0*(t3-2*t2+tt) + n1*(-2*t3+3*t2) + m1*(t3-t2)
+	nprime = (n0*(6*t2-6*tt) + m0*(3*t2-4*tt+1) + n1*(6*tt-6*t2) + m1*(3*t2-2*tt)) / h
+	return n, nprime, true
+}
+
+// build samples the exact integrals on a uniform grid, then bisects any
+// interval whose Hermite midpoint error exceeds the accuracy bound.
+// Refinement recursion is bounded both by depth (12 halvings of the
+// initial spacing) and by the MaxNodes budget.
+func (t *ChargeTable) build() *tableData {
+	opt := t.opt
+	m := t.m
+
+	type node struct{ u, n, np float64 }
+	at := func(u float64) node { return node{u, m.N(u), m.NPrime(u)} }
+
+	init := make([]node, opt.InitIntervals+1)
+	scale := 0.0
+	for i := range init {
+		u := opt.UMin + (opt.UMax-opt.UMin)*float64(i)/float64(opt.InitIntervals)
+		init[i] = at(u)
+		if a := math.Abs(init[i].n); a > scale {
+			scale = a
+		}
+	}
+	floor := 1e-9 * scale
+
+	out := make([]node, 0, 4*len(init))
+	budget := opt.MaxNodes - len(init)
+	var refine func(a, b node, depth int)
+	refine = func(a, b node, depth int) {
+		if depth <= 0 || budget <= 0 {
+			return
+		}
+		um := 0.5 * (a.u + b.u)
+		nm := m.N(um)
+		// Hermite prediction at the midpoint (t = 1/2).
+		h := b.u - a.u
+		m0, m1 := a.np*h, b.np*h
+		pred := 0.5*(a.n+b.n) + 0.125*(m0-m1)
+		if math.Abs(pred-nm) <= opt.RelTol*(math.Abs(nm)+floor) {
+			// The midpoint alone under-detects asymmetric error (the
+			// exponential tail at low T peaks off-centre); confirm with
+			// the quarter point before accepting the interval.
+			uq := a.u + 0.25*h
+			nq := m.N(uq)
+			predQ := 0.84375*a.n + 0.140625*m0 + 0.15625*b.n - 0.046875*m1
+			if math.Abs(predQ-nq) <= opt.RelTol*(math.Abs(nq)+floor) {
+				return
+			}
+		}
+		mid := node{um, nm, m.NPrime(um)}
+		budget--
+		refine(a, mid, depth-1)
+		out = append(out, mid)
+		refine(mid, b, depth-1)
+	}
+	for i := 0; i+1 < len(init); i++ {
+		out = append(out, init[i])
+		refine(init[i], init[i+1], 12)
+	}
+	out = append(out, init[len(init)-1])
+
+	d := &tableData{
+		u:     make([]float64, len(out)),
+		n:     make([]float64, len(out)),
+		np:    make([]float64, len(out)),
+		scale: scale,
+	}
+	for i, nd := range out {
+		d.u[i] = nd.u
+		d.n[i] = nd.n
+		d.np[i] = nd.np
+	}
+	return d
+}

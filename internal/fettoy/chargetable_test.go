@@ -1,0 +1,335 @@
+package fettoy
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestChargeTableAccuracyAcrossDevices sweeps the interpolated state
+// density against the exact integrals over the operating-condition
+// envelope the sweep engine is used in: cold (sharper band edge, finer
+// grid needed), nominal and hot devices at three Fermi levels. The
+// default RelTol of 1e-6 must hold with margin at every (T, EF).
+func TestChargeTableAccuracyAcrossDevices(t *testing.T) {
+	for _, temp := range []float64{150, 300, 450} {
+		for _, ef := range []float64{-0.5, -0.32, 0} {
+			d := Default()
+			d.T = temp
+			d.EF = ef
+			m, err := New(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := m.EnableTable(TableOptions{})
+			umin, umax := tbl.Range()
+			// The table's error bound is relative to |N| with an absolute
+			// floor of 1e-9 of the largest tabulated density — measure
+			// against the same yardstick (deep below the band N underflows
+			// towards 1e-50 states/m, where a pure relative error is
+			// meaningless and irrelevant: that charge cannot move a solve).
+			floor := 1e-9 * m.N(umax)
+			// Same idea for N': it only steers Newton through the quantum
+			// capacitance term qcs·N' (qcs ~ 1e-10 V·m/states), so errors
+			// far below its peak magnitude are invisible to the solver.
+			floorP := 1e-6 * m.NPrime(umax)
+			const samples = 400
+			worst := 0.0
+			for i := 0; i <= samples; i++ {
+				// Offset from the node lattice so midpoints (the worst
+				// case for Hermite interpolation) are exercised too.
+				u := umin + (umax-umin)*(float64(i)+0.37)/(samples+1)
+				got, gotP := tbl.At(u)
+				want := m.N(u)
+				wantP := m.NPrime(u)
+				relN := math.Abs(got-want) / (math.Abs(want) + floor)
+				if relN > worst {
+					worst = relN
+				}
+				if relN > 1e-5 {
+					t.Fatalf("T=%gK EF=%g: N(%g) table %g vs exact %g (rel %g)",
+						temp, ef, u, got, want, relN)
+				}
+				// The derivative converges one order slower than the
+				// value; 1e-3 relative (plus the scaled floor for the
+				// exponentially dead region below the band) is still far
+				// inside the solver's needs.
+				if math.Abs(gotP-wantP) > 1e-3*math.Abs(wantP)+floorP {
+					t.Fatalf("T=%gK EF=%g: N'(%g) table %g vs exact %g",
+						temp, ef, u, gotP, wantP)
+				}
+			}
+			t.Logf("T=%gK EF=%g: %d nodes, worst rel N error %.3g", temp, ef, tbl.Nodes(), worst)
+		}
+	}
+}
+
+// TestChargeTableOutOfRangeFallsBack checks the miss path: lookups
+// outside the grid must return the exact quadrature values.
+func TestChargeTableOutOfRangeFallsBack(t *testing.T) {
+	m := newDefault(t)
+	tbl := NewChargeTable(m, TableOptions{})
+	umin, umax := tbl.Range()
+	for _, u := range []float64{umin - 0.5, umax + 0.5} {
+		n, np := tbl.At(u)
+		if n != m.N(u) || np != m.NPrime(u) {
+			t.Fatalf("out-of-range At(%g) = (%g,%g), want exact (%g,%g)",
+				u, n, np, m.N(u), m.NPrime(u))
+		}
+	}
+}
+
+// TestChargeTableRespectsExplicitOptions checks the option plumbing:
+// a custom range is honoured and MaxNodes caps refinement.
+func TestChargeTableRespectsExplicitOptions(t *testing.T) {
+	m := newDefault(t)
+	tbl := NewChargeTable(m, TableOptions{UMin: -0.5, UMax: 0.25, InitIntervals: 16, MaxNodes: 40})
+	if umin, umax := tbl.Range(); umin != -0.5 || umax != 0.25 {
+		t.Fatalf("range (%g,%g)", umin, umax)
+	}
+	if n := tbl.Nodes(); n > 40 {
+		t.Fatalf("MaxNodes=40 but grid has %d nodes", n)
+	}
+}
+
+// TestChargeTableConcurrentBuild is the -race hammer: many goroutines
+// race to trigger the lazy build while looking up scattered points.
+// Every goroutine must observe the same fully built grid (identical
+// values at identical arguments) with no data race.
+func TestChargeTableConcurrentBuild(t *testing.T) {
+	m := newDefault(t)
+	tbl := NewChargeTable(m, TableOptions{})
+	umin, umax := tbl.Range()
+	const workers = 16
+	probe := make([]float64, 64)
+	for i := range probe {
+		probe[i] = umin + (umax-umin)*float64(i)/float64(len(probe)-1)
+	}
+	refN := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix of paths under race: first calls contend on the lazy
+			// build, the rest are hot lookups.
+			vals := make([]float64, len(probe))
+			for rep := 0; rep < 50; rep++ {
+				for i, u := range probe {
+					n, _ := tbl.At(u)
+					vals[i] = n
+				}
+			}
+			refN[w] = vals
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range probe {
+			if refN[w][i] != refN[0][i] {
+				t.Fatalf("worker %d saw N(%g)=%g, worker 0 saw %g",
+					w, probe[i], refN[w][i], refN[0][i])
+			}
+		}
+	}
+	if tbl.Nodes() == 0 {
+		t.Fatal("no grid built")
+	}
+}
+
+// TestWarmStartMatchesColdStart checks continuation correctness on both
+// solve paths: starting Newton from the neighbouring root must converge
+// to the same VSC as the cold bracket around -UL.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	for _, tabulated := range []bool{false, true} {
+		m := newDefault(t)
+		if tabulated {
+			m.EnableTable(TableOptions{})
+		}
+		for _, vg := range []float64{0.2, 0.45, 0.6} {
+			guess := math.NaN()
+			for vd := 0.0; vd <= 0.6+1e-12; vd += 0.05 {
+				b := Bias{VG: vg, VD: vd}
+				cold, _, err := m.SolveVSC(b)
+				if err != nil {
+					t.Fatalf("cold %+v: %v", b, err)
+				}
+				warm, _, err := m.SolveVSCFrom(b, guess)
+				if err != nil {
+					t.Fatalf("warm %+v: %v", b, err)
+				}
+				if math.Abs(warm-cold) > 1e-9 {
+					t.Fatalf("tabulated=%v %+v: warm VSC %g vs cold %g", tabulated, b, warm, cold)
+				}
+				guess = warm
+			}
+		}
+	}
+}
+
+// TestWarmStartNaNGuessIsCold checks the sentinel: SolveVSCFrom with a
+// NaN guess must behave exactly like SolveVSC.
+func TestWarmStartNaNGuessIsCold(t *testing.T) {
+	m := newDefault(t)
+	b := Bias{VG: 0.5, VD: 0.3}
+	cold, stCold, err := m.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan, stNaN, err := m.SolveVSCFrom(b, math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nan != cold || stNaN != stCold {
+		t.Fatalf("NaN guess diverged from cold start: %g/%+v vs %g/%+v", nan, stNaN, cold, stCold)
+	}
+}
+
+// TestWarmStartRecoversFromBadGuess checks the safeguard: a guess far
+// from the root (the bracket must expand across it) still converges.
+func TestWarmStartRecoversFromBadGuess(t *testing.T) {
+	for _, tabulated := range []bool{false, true} {
+		m := newDefault(t)
+		if tabulated {
+			m.EnableTable(TableOptions{})
+		}
+		b := Bias{VG: 0.6, VD: 0.6}
+		cold, _, err := m.SolveVSC(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, _, err := m.SolveVSCFrom(b, cold+0.4)
+		if err != nil {
+			t.Fatalf("tabulated=%v: %v", tabulated, err)
+		}
+		if math.Abs(warm-cold) > 1e-9 {
+			t.Fatalf("tabulated=%v: bad guess converged to %g, want %g", tabulated, warm, cold)
+		}
+	}
+}
+
+// TestTableSolveMatchesDirect checks the headline accuracy bar: IDS
+// through the tabulated solve path agrees with direct quadrature to
+// well below the 0.1 % target across the paper's bias grid.
+func TestTableSolveMatchesDirect(t *testing.T) {
+	direct := newDefault(t)
+	tabbed := newDefault(t)
+	tabbed.EnableTable(TableOptions{})
+	for _, vg := range []float64{0.1, 0.35, 0.6} {
+		for _, vd := range []float64{0, 0.15, 0.3, 0.45, 0.6} {
+			b := Bias{VG: vg, VD: vd}
+			iDirect, err := direct.IDS(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iTable, err := tabbed.IDS(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(iTable-iDirect) > 1e-5*math.Abs(iDirect)+1e-18 {
+				t.Fatalf("%+v: table IDS %g vs direct %g", b, iTable, iDirect)
+			}
+		}
+	}
+}
+
+// TestIDSBatchThreadsContinuation checks the batch path end to end: one
+// IDSBatch row must reproduce per-point IDS calls bit-for-bit cheaper —
+// the warm-started solves land on the same roots.
+func TestIDSBatchThreadsContinuation(t *testing.T) {
+	m := newDefault(t)
+	m.EnableTable(TableOptions{})
+	const n = 25
+	bias := make([]Bias, n)
+	for i := range bias {
+		bias[i] = Bias{VG: 0.55, VD: 0.6 * float64(i) / (n - 1)}
+	}
+	out := make([]float64, n)
+	if err := m.IDSBatch(bias, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bias {
+		want, err := m.IDS(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out[i]-want) > 1e-9*math.Abs(want)+1e-18 {
+			t.Fatalf("point %d %+v: batch %g vs point solve %g", i, b, out[i], want)
+		}
+	}
+}
+
+// TestCountersExactUnderConcurrency pins the per-model attribution
+// satellite: with G goroutines solving the same point K times on one
+// model, Counters must report exactly G·K times the single-solve work
+// (warm-started identical solves do identical work).
+func TestCountersExactUnderConcurrency(t *testing.T) {
+	m := newDefault(t)
+	b := Bias{VG: 0.5, VD: 0.3}
+	// Calibrate one solve's work on a fresh identical model.
+	cal := newDefault(t)
+	calI0, calN0 := cal.Counters()
+	if _, _, err := cal.SolveVSC(b); err != nil {
+		t.Fatal(err)
+	}
+	calI1, calN1 := cal.Counters()
+	perI, perN := calI1-calI0, calN1-calN0
+	if perI == 0 || perN == 0 {
+		t.Fatalf("calibration solve did no work: %d integrals, %d iters", perI, perN)
+	}
+
+	i0, n0 := m.Counters()
+	const workers, reps = 8, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				if _, _, err := m.SolveVSC(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	i1, n1 := m.Counters()
+	if got, want := i1-i0, workers*reps*perI; got != want {
+		t.Fatalf("integral count %d, want exactly %d", got, want)
+	}
+	if got, want := n1-n0, workers*reps*perN; got != want {
+		t.Fatalf("newton count %d, want exactly %d", got, want)
+	}
+}
+
+// TestTableLookupZeroAlloc pins the hot-path allocation budget: a
+// tabulated warm solve must not allocate (the closures in solveVSCTable
+// must not escape). Skipped under -race, whose instrumentation
+// allocates.
+func TestTableLookupZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m := newDefault(t)
+	tbl := m.EnableTable(TableOptions{})
+	tbl.Build()
+	b := Bias{VG: 0.5, VD: 0.3}
+	vsc, _, err := m.SolveVSC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := m.SolveVSCFrom(b, vsc); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("tabulated warm solve allocates %.1f objects per call", avg)
+	}
+	// The raw lookup is allocation-free too.
+	if avg := testing.AllocsPerRun(200, func() {
+		tbl.At(-0.1)
+	}); avg != 0 {
+		t.Fatalf("table lookup allocates %.1f objects per call", avg)
+	}
+}

@@ -3,6 +3,7 @@ package fettoy
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"cntfet/internal/bandstruct"
 	"cntfet/internal/fermi"
@@ -27,6 +28,10 @@ var metrics = struct {
 	solves          *telemetry.Counter
 	solveTime       *telemetry.Timer
 	solveIters      *telemetry.Histogram
+	tableBuilds     *telemetry.Counter
+	tableNodes      *telemetry.Counter
+	tableHits       *telemetry.Counter
+	tableMisses     *telemetry.Counter
 }{
 	integralEvals:   telemetry.Default().Counter("fettoy.integral_evals"),
 	quadPoints:      telemetry.Default().Counter("fettoy.quad_points"),
@@ -35,6 +40,10 @@ var metrics = struct {
 	solves:          telemetry.Default().Counter("fettoy.solves"),
 	solveTime:       telemetry.Default().Timer("fettoy.solve_time"),
 	solveIters:      telemetry.Default().Histogram("fettoy.solve_iters", []float64{2, 4, 8, 16, 32, 64}),
+	tableBuilds:     telemetry.Default().Counter("fettoy.table.builds"),
+	tableNodes:      telemetry.Default().Counter("fettoy.table.nodes"),
+	tableHits:       telemetry.Default().Counter("fettoy.table.hits"),
+	tableMisses:     telemetry.Default().Counter("fettoy.table.misses"),
 }
 
 // Model is the theoretical (FETToy-equivalent) ballistic CNT transistor.
@@ -51,10 +60,15 @@ type Model struct {
 	// scale of one integral.
 	quadTol float64
 
-	// baseIntegrals/baseNewton snapshot the shared registry counters at
-	// construction so Counters can report per-model deltas.
-	baseIntegrals int64
-	baseNewton    int64
+	// localIntegrals/localNewton are this model's own work counters,
+	// kept alongside the shared registry instruments so Counters stays
+	// exact when several models solve concurrently.
+	localIntegrals atomic.Int64
+	localNewton    atomic.Int64
+
+	// table, when set (before any concurrent use, like trace), serves
+	// SolveVSC's state-density evaluations by interpolation.
+	table *ChargeTable
 
 	// trace, when set (before any concurrent use), receives the
 	// per-iteration residual trajectory of every VSC solve.
@@ -73,10 +87,6 @@ func New(dev Device) (*Model, error) {
 		kT:      dev.KT(),
 		csigma:  dev.CSigma(),
 		quadTol: 1e-8 * bandstruct.D0(),
-		// Snapshot before the N0 evaluation below so construction work
-		// is attributed to this model, as it was with the old atomics.
-		baseIntegrals: metrics.integralEvals.Value(),
-		baseNewton:    metrics.newtonIters.Value(),
 	}
 	m.n0 = m.N(dev.EF)
 	return m, nil
@@ -96,14 +106,34 @@ func (m *Model) Device() Device { return m.dev }
 func (m *Model) N0() float64 { return m.n0 }
 
 // Counters reports how many state-density integrals and Newton
-// iterations the model has performed since construction — the cost the
-// piecewise approximation removes. It is a compatibility shim over the
-// telemetry registry ("fettoy.*" instruments): the registry counters
-// are process-wide, so when several reference models solve
-// concurrently the per-model attribution is approximate.
+// iterations this model has performed since construction — the cost the
+// piecewise approximation removes. The counts are local atomics, so
+// they stay exact when several models solve concurrently; the shared
+// "fettoy.*" registry instruments accumulate the same events
+// process-wide.
 func (m *Model) Counters() (integrals, newtonIters int) {
-	return int(metrics.integralEvals.Value() - m.baseIntegrals),
-		int(metrics.newtonIters.Value() - m.baseNewton)
+	return int(m.localIntegrals.Load()), int(m.localNewton.Load())
+}
+
+// tailIntegral integrates a Fermi-weighted tail integrand over
+// [start, ∞). When the Fermi level u sits above start, the integrand's
+// only structure — the kT-wide Fermi window around ε = u — lies inside
+// the semi-infinite panel, where adaptive sampling can step straight
+// over it (the -∂f/∂ε integrand of NPrime is a near-δ spike there).
+// Splitting at the window and integrating the finite part with adaptive
+// Simpson pins the peak; beyond u + 25kT the Fermi factors are < 2e-11
+// and the transform handles the remainder.
+func (m *Model) tailIntegral(g func(float64) float64, start, u float64) float64 {
+	from := start
+	total := 0.0
+	if u > start {
+		hi := u + 25*m.kT
+		window, _ := quad.Simpson(g, start, hi, m.quadTol, 30)
+		total += window
+		from = hi
+	}
+	tail, _ := quad.SemiInfinite(g, from, m.quadTol)
+	return total + tail
 }
 
 // N evaluates the full state-density integral
@@ -116,6 +146,7 @@ func (m *Model) Counters() (integrals, newtonIters int) {
 // sqrt substitution; the Fermi tail with a semi-infinite transform.
 func (m *Model) N(u float64) float64 {
 	metrics.integralEvals.Inc()
+	m.localIntegrals.Add(1)
 	total := 0.0
 	points := 0
 	for _, b := range m.bands {
@@ -136,15 +167,12 @@ func (m *Model) N(u float64) float64 {
 			// below still completes the integral.
 			_ = err
 		}
-		// Smooth tail.
-		tail, err := quad.SemiInfinite(func(eps float64) float64 {
+		// Smooth tail, split at the Fermi window when it lies inside.
+		tail := m.tailIntegral(func(eps float64) float64 {
 			points++
 			x := eps + m.e1
 			return deg * x / math.Sqrt(x*x-ep*ep) * fermi.F(eps-u, m.kT)
-		}, eps0+w, m.quadTol)
-		if err != nil {
-			_ = err
-		}
+		}, eps0+w, u)
 		total += edge + tail
 	}
 	metrics.quadPoints.Add(int64(points))
@@ -155,6 +183,7 @@ func (m *Model) N(u float64) float64 {
 // capacitance integrand, with the same singular/tail splitting as N.
 func (m *Model) NPrime(u float64) float64 {
 	metrics.integralEvals.Inc()
+	m.localIntegrals.Add(1)
 	total := 0.0
 	points := 0
 	for _, b := range m.bands {
@@ -169,11 +198,11 @@ func (m *Model) NPrime(u float64) float64 {
 			return deg * x * -fermi.DF(eps-u, m.kT) / math.Sqrt(x+ep)
 		}
 		edge, _ := quad.SqrtSingularUpper(g, eps0, eps0+w, m.quadTol)
-		tail, _ := quad.SemiInfinite(func(eps float64) float64 {
+		tail := m.tailIntegral(func(eps float64) float64 {
 			points++
 			x := eps + m.e1
 			return deg * x / math.Sqrt(x*x-ep*ep) * -fermi.DF(eps-u, m.kT)
-		}, eps0+w, m.quadTol)
+		}, eps0+w, u)
 		total += edge + tail
 	}
 	metrics.quadPoints.Add(int64(points))
@@ -218,12 +247,39 @@ type SolveStats struct {
 //
 // by safeguarded Newton–Raphson with the analytic quantum-capacitance
 // derivative. This is the expensive step the paper's closed-form
-// technique eliminates.
+// technique eliminates. With an attached ChargeTable (EnableTable) the
+// Newton iterations interpolate the tabulated state density instead of
+// re-integrating it.
 func (m *Model) SolveVSC(b Bias) (float64, SolveStats, error) {
+	return m.solveVSCAt(b, 0, false)
+}
+
+// SolveVSCFrom is SolveVSC warm-started from a neighbouring solution —
+// the continuation a bias sweep exploits: consecutive points along a
+// VDS row start from the previous root instead of re-bracketing around
+// the zero-charge estimate. A NaN guess degrades to the cold start.
+func (m *Model) SolveVSCFrom(b Bias, guess float64) (float64, SolveStats, error) {
+	return m.solveVSCAt(b, guess, !math.IsNaN(guess))
+}
+
+func (m *Model) solveVSCAt(b Bias, guess float64, warm bool) (float64, SolveStats, error) {
 	alphaS := 1 - m.dev.AlphaG - m.dev.AlphaD
 	ul := m.dev.AlphaG*b.VG + m.dev.AlphaD*b.VD + alphaS*b.VS
 	vds := b.VD - b.VS
 	qcs := units.Q / m.csigma
+
+	metrics.solves.Inc()
+	if telemetry.On() {
+		defer metrics.solveTime.Start()()
+	}
+
+	if t := m.table; t != nil {
+		if v, st, ok := m.solveVSCTable(t, b, ul, vds, qcs, guess, warm); ok {
+			return v, st, nil
+		}
+		// A lookup left the tabulated range (or the bracket search
+		// failed inside it): redo the point on exact quadrature.
+	}
 
 	g := func(v float64) float64 {
 		ns := 0.5 * m.N(m.dev.EF-v)
@@ -234,14 +290,14 @@ func (m *Model) SolveVSC(b Bias) (float64, SolveStats, error) {
 		return 1 + 0.5*qcs*(m.NPrime(m.dev.EF-v)+m.NPrime(m.dev.EF-v-vds))
 	}
 
-	metrics.solves.Inc()
-	if telemetry.On() {
-		defer metrics.solveTime.Start()()
+	// The zero-charge solution -UL is the natural cold start; a warm
+	// start brackets tightly around the neighbouring root instead (g is
+	// strictly increasing, so ExpandBracket recovers from a bad guess).
+	x0, half := -ul, 0.5
+	if warm {
+		x0, half = guess, 0.05
 	}
-
-	// The zero-charge solution -UL is the natural start; expand a
-	// bracket around it (g is strictly increasing).
-	lo, hi, err := rootfind.ExpandBracket(g, -ul-0.5, -ul+0.5, 40)
+	lo, hi, err := rootfind.ExpandBracket(g, x0-half, x0+half, 40)
 	if err != nil {
 		metrics.bracketFailures.Inc()
 		return 0, SolveStats{}, fmt.Errorf("fettoy: no bracket for VSC at %+v: %w", b, err)
@@ -252,11 +308,12 @@ func (m *Model) SolveVSC(b Bias) (float64, SolveStats, error) {
 			m.trace.Emit("fettoy.newton", 0, "iter", iter, "v", v, "residual", fv, "vg", b.VG, "vd", b.VD)
 		}
 	}
-	res, err := rootfind.Newton(g, dg, -ul, lo, hi, opt)
+	res, err := rootfind.Newton(g, dg, x0, lo, hi, opt)
 	if err != nil {
 		return 0, SolveStats{}, fmt.Errorf("fettoy: VSC solve failed at %+v: %w", b, err)
 	}
 	metrics.newtonIters.Add(int64(res.Iterations))
+	m.localNewton.Add(int64(res.Iterations))
 	metrics.solveIters.Observe(float64(res.Iterations))
 	if m.trace.Enabled() {
 		m.trace.Emit("fettoy.solve", 0,
@@ -264,6 +321,126 @@ func (m *Model) SolveVSC(b Bias) (float64, SolveStats, error) {
 			"iters", res.Iterations, "fevals", res.FuncEvals)
 	}
 	return res.Root, SolveStats{Iterations: res.Iterations, FuncEvals: res.FuncEvals}, nil
+}
+
+// solveVSCTable is the tabulated twin of the quadrature solve: the same
+// safeguarded Newton iteration, with N and N' served together by one
+// Hermite lookup per terminal. It is allocation-free (the closures
+// below never escape) and reports ok=false — leaving the caller to fall
+// back to quadrature — whenever a lookup lands outside the grid or the
+// bracket search fails.
+func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float64, warm bool) (float64, SolveStats, bool) {
+	hits := 0
+	// eval returns the residual and its derivative at v from two table
+	// lookups (source and drain effective Fermi levels).
+	eval := func(v float64) (gv, dgv float64, ok bool) {
+		ns, nps, ok := t.eval(m.dev.EF - v)
+		if !ok {
+			return 0, 0, false
+		}
+		nd, npd, ok := t.eval(m.dev.EF - v - vds)
+		if !ok {
+			return 0, 0, false
+		}
+		hits += 2
+		gv = v + ul - qcs*(0.5*(ns+nd)-m.n0)
+		dgv = 1 + 0.5*qcs*(nps+npd)
+		return gv, dgv, true
+	}
+	flush := func(ok bool) {
+		metrics.tableHits.Add(int64(hits))
+		if !ok {
+			metrics.tableMisses.Inc()
+		}
+	}
+
+	st := SolveStats{}
+	x0, half := -ul, 0.5
+	if warm {
+		x0, half = guess, 0.05
+	}
+	lo, hi := x0-half, x0+half
+	glo, _, ok := eval(lo)
+	if !ok {
+		flush(false)
+		return 0, st, false
+	}
+	ghi, _, ok := eval(hi)
+	if !ok {
+		flush(false)
+		return 0, st, false
+	}
+	st.FuncEvals = 2
+	for grow := 0; glo*ghi > 0; grow++ {
+		if grow == 40 {
+			flush(false)
+			return 0, st, false
+		}
+		w := hi - lo
+		lo -= w
+		hi += w
+		if glo, _, ok = eval(lo); !ok {
+			flush(false)
+			return 0, st, false
+		}
+		if ghi, _, ok = eval(hi); !ok {
+			flush(false)
+			return 0, st, false
+		}
+		st.FuncEvals += 2
+	}
+
+	x := x0
+	if x < lo || x > hi {
+		x = 0.5 * (lo + hi)
+	}
+	traceOn := m.trace.Enabled()
+	for iter := 1; iter <= 100; iter++ {
+		st.Iterations = iter
+		gx, dgx, ok := eval(x)
+		if !ok {
+			flush(false)
+			return 0, st, false
+		}
+		st.FuncEvals++
+		if traceOn {
+			m.trace.Emit("fettoy.newton", 0, "iter", iter, "v", x, "residual", gx, "vg", b.VG, "vd", b.VD)
+		}
+		root, done := x, gx == 0
+		if !done {
+			// Maintain the bracket, then take the Newton step with a
+			// bisection safeguard (mirrors rootfind.Newton).
+			if glo*gx < 0 {
+				hi = x
+			} else {
+				lo, glo = x, gx
+			}
+			next := 0.5 * (lo + hi)
+			if dgx != 0 {
+				if n := x - gx/dgx; n > lo && n < hi {
+					next = n
+				}
+			}
+			if math.Abs(next-x) < 1e-12 {
+				root, done = next, true
+			}
+			x = next
+		}
+		if done {
+			metrics.newtonIters.Add(int64(st.Iterations))
+			m.localNewton.Add(int64(st.Iterations))
+			metrics.solveIters.Observe(float64(st.Iterations))
+			flush(true)
+			if traceOn {
+				m.trace.Emit("fettoy.solve", 0,
+					"vg", b.VG, "vd", b.VD, "vs", b.VS, "vsc", root,
+					"iters", st.Iterations, "fevals", st.FuncEvals)
+			}
+			return root, st, true
+		}
+	}
+	flush(false)
+	return 0, st, false
 }
 
 // CurrentAtVSC evaluates the ballistic drain current (paper eqs. 12-14)
@@ -289,6 +466,36 @@ func (m *Model) IDS(b Bias) (float64, error) {
 		return 0, err
 	}
 	return m.CurrentAtVSC(vsc, b), nil
+}
+
+// IDSFrom solves with a warm-start guess (NaN = cold start) and returns
+// both the current and the solved VSC, so a sweep can thread each
+// solution into the next point of its row. It implements the sweep
+// package's warm-start interface.
+func (m *Model) IDSFrom(b Bias, guess float64) (ids, vsc float64, err error) {
+	vsc, _, err = m.solveVSCAt(b, guess, !math.IsNaN(guess))
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.CurrentAtVSC(vsc, b), vsc, nil
+}
+
+// IDSBatch evaluates one current per bias into out (which must be at
+// least as long as bias), threading warm-start continuation through the
+// batch: each solve starts from its predecessor's root, so a VDS row
+// costs a fraction of len(bias) independent cold solves. It implements
+// the sweep package's batch interface.
+func (m *Model) IDSBatch(bias []Bias, out []float64) error {
+	guess := math.NaN()
+	for i, b := range bias {
+		ids, vsc, err := m.IDSFrom(b, guess)
+		if err != nil {
+			return err
+		}
+		out[i] = ids
+		guess = vsc
+	}
+	return nil
 }
 
 // OperatingPoint bundles the solved internal state for one bias.

@@ -2,44 +2,150 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cntfet/internal/fettoy"
 	"cntfet/internal/telemetry"
 )
 
-// FamilyParallel evaluates a curve family with worker goroutines, one
-// bias point per task. Both library models are safe for concurrent use
-// after construction (the reference model's diagnostic counters are
-// atomic). workers <= 0 selects GOMAXPROCS.
+// FamilyParallel evaluates a curve family with worker goroutines using
+// chunked row scheduling: tasks are [lo, hi) index blocks of one VDS
+// row, drained from a buffered channel, so the per-point cost is the
+// solve itself rather than a channel hand-off. Within a chunk the
+// workers thread warm-start continuation when the model supports it
+// (see WarmStarter): each solve starts from the neighbouring root.
+// Both library models are safe for concurrent use after construction.
+// workers <= 0 selects GOMAXPROCS.
+//
+// Errors do not abort the sweep: the first one (in scheduling order of
+// discovery) is returned after all workers drain, and every failed
+// point counts into the sweep.errors telemetry counter regardless of
+// the telemetry gate, so partial failures are never silent.
 //
 // Use this for the reference model, where one operating point costs
-// ~100 µs of quadrature; for the piecewise models the per-point cost
-// (~0.2 µs) is below scheduling overhead and the serial Family is
-// usually faster.
+// ~100 µs of quadrature (or ~1 µs tabulated); for the piecewise models
+// the per-point cost (~0.2 µs) is below scheduling overhead and the
+// serial Family or FamilyBatch is usually faster.
 func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	out := make([]Curve, len(vgs))
-	for i, vg := range vgs {
-		out[i] = Curve{
-			VG:  vg,
-			VDS: append([]float64(nil), vds...),
-			IDS: make([]float64, len(vds)),
-		}
+	out := newFamily(vgs, vds)
+
+	// Chunking heuristic: aim for ~4 chunks per worker across the whole
+	// grid, so the tail imbalance when workers finish out of step stays
+	// around a quarter of one worker's share, while the channel still
+	// sees ~4 sends per worker instead of one per point. Two bounds
+	// temper the target: chunks never span rows (a row is the
+	// warm-start continuation unit), and never shrink below 8 points
+	// (continuation needs runs of neighbouring points to pay off).
+	span := (len(vgs)*len(vds) + 4*workers - 1) / (4 * workers)
+	if span < 8 {
+		span = 8
+	}
+	if span > len(vds) {
+		span = len(vds)
+	}
+	if span < 1 {
+		span = 1
 	}
 
+	type chunk struct{ gi, lo, hi int }
+	nchunks := 0
+	if span > 0 {
+		perRow := (len(vds) + span - 1) / span
+		nchunks = perRow * len(vgs)
+	}
+	tasks := make(chan chunk, nchunks)
+	for gi := range vgs {
+		for lo := 0; lo < len(vds); lo += span {
+			hi := lo + span
+			if hi > len(vds) {
+				hi = len(vds)
+			}
+			tasks <- chunk{gi, lo, hi}
+		}
+	}
+	close(tasks)
+
+	// First-error capture without a per-point mutex: the winning worker
+	// records once, later errors only bump the shared counter.
+	var firstErr error
+	var errOnce sync.Once
+	var errCount atomic.Int64
+
+	ws, warm := m.(WarmStarter)
+	on := telemetry.On()
+	reg := telemetry.Default()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			points := 0
+			if on {
+				defer reg.Timer(fmt.Sprintf("sweep.worker.%d.time", w)).Start()()
+			}
+			for ck := range tasks {
+				guess := math.NaN()
+				for vi := ck.lo; vi < ck.hi; vi++ {
+					b := fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
+					var ids float64
+					var err error
+					if warm {
+						ids, guess, err = ws.IDSFrom(b, guess)
+					} else {
+						ids, err = m.IDS(b)
+					}
+					if err != nil {
+						errCount.Add(1)
+						errOnce.Do(func() {
+							firstErr = fmt.Errorf("sweep: VG=%g VDS=%g: %w", b.VG, b.VD, err)
+						})
+						guess = math.NaN()
+						continue
+					}
+					points++
+					out[ck.gi].IDS[vi] = ids
+				}
+			}
+			// Totals are recorded unconditionally (one atomic add per
+			// worker); only the per-worker instruments stay gated.
+			reg.Counter("sweep.points").Add(int64(points))
+			if on {
+				reg.Counter(fmt.Sprintf("sweep.worker.%d.points", w)).Add(int64(points))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := errCount.Load(); n > 0 {
+		reg.Counter("sweep.errors").Add(n)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// FamilyParallelLegacy is the pre-chunking scheduler: one bias point
+// per task, no warm starts. It is kept as the "before" half of the
+// cntbench -sweepbench comparison and the scheduling benchmarks; new
+// code should call FamilyParallel.
+func FamilyParallelLegacy(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := newFamily(vgs, vds)
+
 	type task struct{ gi, vi int }
-	tasks := make(chan task)
+	tasks := make(chan task, workers)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 
-	// Per-worker instruments live under sweep.worker.<i>; points/sec
-	// per worker is the counter over the timer. Handles are resolved
-	// before the workers start so the hot loop only counts locally.
 	on := telemetry.On()
 	reg := telemetry.Default()
 	for w := 0; w < workers; w++ {
@@ -64,10 +170,12 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 				points++
 				out[tk.gi].IDS[tk.vi] = ids
 			}
+			reg.Counter("sweep.points").Add(int64(points))
+			if errs > 0 {
+				reg.Counter("sweep.errors").Add(int64(errs))
+			}
 			if on {
 				reg.Counter(fmt.Sprintf("sweep.worker.%d.points", w)).Add(int64(points))
-				reg.Counter("sweep.points").Add(int64(points))
-				reg.Counter("sweep.errors").Add(int64(errs))
 			}
 		}(w)
 	}
@@ -82,4 +190,17 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// newFamily allocates the result curves for a vgs x vds grid.
+func newFamily(vgs, vds []float64) []Curve {
+	out := make([]Curve, len(vgs))
+	for i, vg := range vgs {
+		out[i] = Curve{
+			VG:  vg,
+			VDS: append([]float64(nil), vds...),
+			IDS: make([]float64, len(vds)),
+		}
+	}
+	return out
 }
