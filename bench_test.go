@@ -13,9 +13,11 @@
 package cntfet
 
 import (
+	"context"
 	"testing"
 
 	"cntfet/internal/circuit"
+	"cntfet/internal/device"
 	"cntfet/internal/expdata"
 	"cntfet/internal/logic"
 	"cntfet/internal/netlist"
@@ -486,7 +488,7 @@ func BenchmarkFamilyParallel_Chunked(b *testing.B) {
 	vds := units.Linspace(0, 0.6, 31)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.FamilyParallel(s.ref, vgs, vds, 0); err != nil {
+		if _, err := sweep.FamilyParallel(context.Background(), s.ref, vgs, vds, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -604,7 +606,7 @@ func BenchmarkCircuit_ACSweepCommonSource(b *testing.B) {
 
 func BenchmarkMonteCarlo_EFOnly_1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := variation.MonteCarloIDS(DefaultDevice(),
+		res, err := variation.MonteCarloIDS(context.Background(), DefaultDevice(),
 			variation.Spread{EF: 0.02}, Bias{VG: 0.5, VD: 0.4}, 1000, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -619,7 +621,7 @@ func BenchmarkMonteCarlo_EFOnly_1000(b *testing.B) {
 // adder solved with the fast model vs the full theory. This is the
 // per-device evaluation speedup compounding through a real circuit's
 // Newton iterations.
-func benchAdder(b *testing.B, model circuit.TransistorModel) {
+func benchAdder(b *testing.B, model device.Solver) {
 	b.Helper()
 	l := &logic.Library{Model: model, VDD: 0.6}
 	b.ResetTimer()

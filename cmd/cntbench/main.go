@@ -18,13 +18,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cntfet"
+	"cntfet/internal/engine"
 	"cntfet/internal/report"
 	"cntfet/internal/sweep"
 	"cntfet/internal/telemetry"
@@ -47,6 +52,9 @@ func main() {
 	assertFaster := flag.Bool("assert-faster", false, "sweepbench: exit non-zero if the batched path is slower")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *sweepBench {
 		if err := runSweepBench(*points, *repeats, *workers, *out, *assertFaster); err != nil {
 			fmt.Fprintln(os.Stderr, "cntbench:", err)
@@ -59,8 +67,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cntbench:", err)
 		os.Exit(1)
 	}
-	if err := run(counts, *points, options{metrics: *metrics, traceFile: *traceFile}); err != nil {
+	if err := run(ctx, counts, *points, options{metrics: *metrics, traceFile: *traceFile}); err != nil {
 		fmt.Fprintln(os.Stderr, "cntbench:", err)
+		if errors.Is(err, engine.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -94,7 +105,7 @@ type row struct {
 	SpeedupM2  float64 `json:"speedup_m2"`
 }
 
-func run(counts []int, points int, opt options) error {
+func run(ctx context.Context, counts []int, points int, opt options) error {
 	if opt.metrics {
 		telemetry.Enable()
 	}
@@ -123,18 +134,23 @@ func run(counts []int, points int, opt options) error {
 		vds[i] = 0.6 * float64(i) / float64(points-1)
 	}
 
-	family := func(m cntfet.Transistor) error {
-		_, err := cntfet.Family(m, vgs, vds)
-		return err
-	}
+	// One engine job per (model, loop count): Repeat re-runs the family
+	// inside the job, Strategy Serial preserves the paper's Table I
+	// protocol (plain row-by-row evaluation, no batching or workers),
+	// and Result.Elapsed is the measured wall time.
 	timeLoops := func(m cntfet.Transistor, n int) (time.Duration, error) {
-		start := time.Now()
-		for i := 0; i < n; i++ {
-			if err := family(m); err != nil {
-				return 0, err
-			}
+		res, err := engine.Run(ctx, engine.Request{
+			Kind:     engine.FamilySweep,
+			Model:    m,
+			Gates:    vgs,
+			Drains:   vds,
+			Strategy: engine.Serial,
+			Repeat:   n,
+		})
+		if err != nil {
+			return 0, err
 		}
-		return time.Since(start), nil
+		return res.Elapsed, nil
 	}
 
 	var rows []row

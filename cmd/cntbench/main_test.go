@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -34,7 +35,7 @@ func TestRunSingleLoop(t *testing.T) {
 		io.Copy(&buf, r)
 		done <- buf.String()
 	}()
-	err := run([]int{1}, 13, options{})
+	err := run(context.Background(), []int{1}, 13, options{})
 	w.Close()
 	os.Stdout = old
 	out := <-done
@@ -116,7 +117,7 @@ func TestRunMetricsJSON(t *testing.T) {
 		io.Copy(&buf, r)
 		done <- buf.String()
 	}()
-	err := run([]int{1}, 13, options{metrics: true})
+	err := run(context.Background(), []int{1}, 13, options{metrics: true})
 	w.Close()
 	os.Stdout = old
 	out := <-done

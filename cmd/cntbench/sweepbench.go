@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -119,7 +120,7 @@ func runSweepBench(points, repeats, workers int, outPath string, assertFaster bo
 	if err != nil {
 		return err
 	}
-	famBatched, err := sweep.FamilyParallel(refBatched, vgs, vds, workers)
+	famBatched, err := sweep.FamilyParallel(context.Background(), refBatched, vgs, vds, workers)
 	if err != nil {
 		return err
 	}
@@ -171,7 +172,7 @@ func runSweepBench(points, repeats, workers int, outPath string, assertFaster bo
 		return err
 	}
 	doc.Batched, err = timePath(func() error {
-		_, err := sweep.FamilyParallel(refBatched, vgs, vds, workers)
+		_, err := sweep.FamilyParallel(context.Background(), refBatched, vgs, vds, workers)
 		return err
 	})
 	if err != nil {

@@ -17,13 +17,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"cntfet"
+	"cntfet/internal/engine"
 	"cntfet/internal/expdata"
 	"cntfet/internal/report"
 	"cntfet/internal/sweep"
@@ -54,8 +59,13 @@ func main() {
 		telemetry.Enable()
 		traceSink = telemetry.NewTrace(1 << 16)
 	}
-	if err := run(*fig, *temp, *ef, *vgList, *modelNo, *points, *plot); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *fig, *temp, *ef, *vgList, *modelNo, *points, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "cntiv:", err)
+		if errors.Is(err, engine.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if traceSink != nil {
@@ -78,7 +88,7 @@ func main() {
 	}
 }
 
-func run(fig int, temp, ef float64, vgList string, modelNo, points int, plot bool) error {
+func run(ctx context.Context, fig int, temp, ef float64, vgList string, modelNo, points int, plot bool) error {
 	switch fig {
 	case 0:
 		vgs, err := parseGates(vgList)
@@ -88,30 +98,30 @@ func run(fig int, temp, ef float64, vgList string, modelNo, points int, plot boo
 		dev := cntfet.DefaultDevice()
 		dev.T = temp
 		dev.EF = ef
-		return family(dev, vgs, units.Linspace(0, 0.6, points), modelNo, plot,
+		return family(ctx, dev, vgs, units.Linspace(0, 0.6, points), modelNo, plot,
 			fmt.Sprintf("custom sweep T=%gK EF=%geV", temp, ef))
 	case 6:
-		return family(cntfet.DefaultDevice(), sweep.PaperGates(), units.Linspace(0, 0.6, points), 1, plot,
+		return family(ctx, cntfet.DefaultDevice(), sweep.PaperGates(), units.Linspace(0, 0.6, points), 1, plot,
 			"figure 6: T=300K EF=-0.32eV, FETToy theory vs Model 1")
 	case 7:
-		return family(cntfet.DefaultDevice(), sweep.PaperGates(), units.Linspace(0, 0.6, points), 2, plot,
+		return family(ctx, cntfet.DefaultDevice(), sweep.PaperGates(), units.Linspace(0, 0.6, points), 2, plot,
 			"figure 7: T=300K EF=-0.32eV, FETToy theory vs Model 2")
 	case 8:
 		dev := cntfet.DefaultDevice()
 		dev.T = 150
 		dev.EF = 0
-		return family(dev, units.Linspace(0.1, 0.6, 6), units.Linspace(0, 0.6, points), 2, plot,
+		return family(ctx, dev, units.Linspace(0.1, 0.6, 6), units.Linspace(0, 0.6, points), 2, plot,
 			"figure 8: T=150K EF=0eV, FETToy theory vs Model 2")
 	case 9:
 		dev := cntfet.DefaultDevice()
 		dev.T = 450
 		dev.EF = -0.5
-		return family(dev, units.Linspace(0.4, 0.6, 5), units.Linspace(0, 0.6, points), 2, plot,
+		return family(ctx, dev, units.Linspace(0.4, 0.6, 5), units.Linspace(0, 0.6, points), 2, plot,
 			"figure 9: T=450K EF=-0.5eV, FETToy theory vs Model 2")
 	case 10:
-		return experimental(1, points, plot)
+		return experimental(ctx, 1, points, plot)
 	case 11:
-		return experimental(2, points, plot)
+		return experimental(ctx, 2, points, plot)
 	default:
 		return fmt.Errorf("unknown figure %d", fig)
 	}
@@ -148,19 +158,26 @@ func buildModels(dev cntfet.Device, modelNo int, optimize bool) (*cntfet.Referen
 	return ref, fast, nil
 }
 
-func family(dev cntfet.Device, vgs, vds []float64, modelNo int, plot bool, title string) error {
+func family(ctx context.Context, dev cntfet.Device, vgs, vds []float64, modelNo int, plot bool, title string) error {
 	ref, fast, err := buildModels(dev, modelNo, false)
 	if err != nil {
 		return err
 	}
-	famRef, err := cntfet.Family(ref, vgs, vds)
+	// One RMS-compare job sweeps both models on the shared grid and
+	// scores the disagreement; Serial keeps the historical row-by-row
+	// evaluation order.
+	res, err := engine.Run(ctx, engine.Request{
+		Kind:     engine.RMSCompare,
+		Model:    fast,
+		Ref:      ref,
+		Gates:    vgs,
+		Drains:   vds,
+		Strategy: engine.Serial,
+	})
 	if err != nil {
 		return err
 	}
-	famFast, err := cntfet.Family(fast, vgs, vds)
-	if err != nil {
-		return err
-	}
+	famRef, famFast := res.RefFamily, res.Family
 	fmt.Println(title)
 	headers := []string{"vds"}
 	cols := [][]float64{vds}
@@ -173,12 +190,8 @@ func family(dev cntfet.Device, vgs, vds []float64, modelNo int, plot bool, title
 	if err := report.WriteCSV(os.Stdout, headers, cols...); err != nil {
 		return err
 	}
-	errs, err := cntfet.CompareFamilies(famFast, famRef)
-	if err != nil {
-		return err
-	}
 	for i, vg := range vgs {
-		fmt.Printf("# VG=%.2f rms error %.2f%%\n", vg, errs[i])
+		fmt.Printf("# VG=%.2f rms error %.2f%%\n", vg, res.RMSPercent[i])
 	}
 	if plot {
 		drawFamilies(famRef, famFast)
@@ -186,7 +199,7 @@ func family(dev cntfet.Device, vgs, vds []float64, modelNo int, plot bool, title
 	return nil
 }
 
-func experimental(modelNo, points int, plot bool) error {
+func experimental(ctx context.Context, modelNo, points int, plot bool) error {
 	ds, err := expdata.Generate(expdata.PaperGates(), expdata.PaperVDS(points))
 	if err != nil {
 		return err
@@ -198,14 +211,20 @@ func experimental(modelNo, points int, plot bool) error {
 	if err != nil {
 		return err
 	}
-	famRef, err := cntfet.Family(ref, ds.VG, ds.VDS)
+	// Theory and piecewise model swept on the experimental grid; one
+	// RMS-compare job produces both families.
+	res, err := engine.Run(ctx, engine.Request{
+		Kind:     engine.RMSCompare,
+		Model:    fast,
+		Ref:      ref,
+		Gates:    ds.VG,
+		Drains:   ds.VDS,
+		Strategy: engine.Serial,
+	})
 	if err != nil {
 		return err
 	}
-	famFast, err := cntfet.Family(fast, ds.VG, ds.VDS)
-	if err != nil {
-		return err
-	}
+	famRef, famFast := res.RefFamily, res.Family
 	fmt.Printf("figure %d: Javey device, experiment vs FETToy theory vs Model %d\n", 9+modelNo, modelNo)
 	headers := []string{"vds"}
 	cols := [][]float64{ds.VDS}

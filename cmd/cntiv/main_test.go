@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -34,7 +35,7 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestRunFigure7(t *testing.T) {
-	out := capture(t, func() error { return run(7, 300, -0.32, "", 2, 13, false) })
+	out := capture(t, func() error { return run(context.Background(), 7, 300, -0.32, "", 2, 13, false) })
 	if !strings.Contains(out, "figure 7") || !strings.Contains(out, "rms error") {
 		t.Fatalf("output:\n%s", out)
 	}
@@ -44,17 +45,17 @@ func TestRunFigure7(t *testing.T) {
 }
 
 func TestRunCustomSweep(t *testing.T) {
-	out := capture(t, func() error { return run(0, 300, -0.32, "0.4,0.6", 1, 7, true) })
+	out := capture(t, func() error { return run(context.Background(), 0, 300, -0.32, "0.4,0.6", 1, 7, true) })
 	if !strings.Contains(out, "custom sweep") || !strings.Contains(out, "legend") {
 		t.Fatalf("output:\n%s", out)
 	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run(99, 300, -0.32, "", 2, 13, false); err == nil {
+	if err := run(context.Background(), 99, 300, -0.32, "", 2, 13, false); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
-	if err := run(0, 300, -0.32, "abc", 2, 13, false); err == nil {
+	if err := run(context.Background(), 0, 300, -0.32, "abc", 2, 13, false); err == nil {
 		t.Fatal("bad gate list accepted")
 	}
 }

@@ -15,15 +15,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cntfet"
+	"cntfet/internal/engine"
 	"cntfet/internal/report"
 	"cntfet/internal/telemetry"
 	"cntfet/internal/variation"
@@ -58,8 +63,13 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "cntmc: debug server on http://%s/debug/pprof/ and /debug/vars\n", *debugAddr)
 	}
-	if err := run(*n, *efSigma, *dSigma, *vg, *vd, *seed, *bins); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *n, *efSigma, *dSigma, *vg, *vd, *seed, *bins); err != nil {
 		fmt.Fprintln(os.Stderr, "cntmc:", err)
+		if errors.Is(err, engine.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if *metrics {
@@ -71,17 +81,24 @@ func main() {
 	}
 }
 
-func run(n int, efSigma, dSigma, vg, vd float64, seed int64, bins int) error {
+func run(ctx context.Context, n int, efSigma, dSigma, vg, vd float64, seed int64, bins int) error {
 	dev := cntfet.DefaultDevice()
 	bias := cntfet.Bias{VG: vg, VD: vd}
 	spread := variation.Spread{EF: efSigma, DiameterRel: dSigma}
 
-	start := time.Now()
-	res, err := variation.MonteCarloIDS(dev, spread, bias, n, seed)
+	job, err := engine.Run(ctx, engine.Request{
+		Kind:    engine.MonteCarlo,
+		Device:  dev,
+		Spread:  spread,
+		Bias:    bias,
+		Samples: n,
+		Seed:    seed,
+	})
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	res := *job.MC
+	elapsed := job.Elapsed
 
 	fmt.Printf("device: d=%.2gnm EF=%geV T=%gK; bias VG=%gV VDS=%gV\n",
 		dev.Diameter*1e9, dev.EF, dev.T, vg, vd)

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"cntfet/internal/engine"
 )
 
 func TestRunSmallStudy(t *testing.T) {
@@ -18,7 +22,7 @@ func TestRunSmallStudy(t *testing.T) {
 		io.Copy(&buf, r)
 		done <- buf.String()
 	}()
-	err := run(200, 0.02, 0, 0.5, 0.4, 1, 8)
+	err := run(context.Background(), 200, 0.02, 0, 0.5, 0.4, 1, 8)
 	w.Close()
 	os.Stdout = old
 	out := <-done
@@ -33,7 +37,20 @@ func TestRunSmallStudy(t *testing.T) {
 }
 
 func TestRunRejectsBadCounts(t *testing.T) {
-	if err := run(0, 0.02, 0, 0.5, 0.4, 1, 8); err == nil {
+	err := run(context.Background(), 0, 0.02, 0, 0.5, 0.4, 1, 8)
+	if err == nil {
 		t.Fatal("zero samples accepted")
+	}
+	if !errors.Is(err, engine.ErrInvalidRequest) {
+		t.Fatalf("want ErrInvalidRequest, got %v", err)
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, 200, 0.02, 0, 0.5, 0.4, 1, 8)
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
 	}
 }

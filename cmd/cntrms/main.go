@@ -10,11 +10,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cntfet"
+	"cntfet/internal/engine"
 	"cntfet/internal/expdata"
 	"cntfet/internal/report"
 	"cntfet/internal/sweep"
@@ -26,32 +31,38 @@ func main() {
 	paperBreaks := flag.Bool("paperbreaks", false, "table 5: keep the nominal-device breakpoints instead of re-deriving them for the weak-gate Javey device")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch *table {
 	case 2:
-		err = accuracyTable(-0.32, "Table II: average RMS errors in IDS, EF=-0.32eV", *optimize)
+		err = accuracyTable(ctx, -0.32, "Table II: average RMS errors in IDS, EF=-0.32eV", *optimize)
 	case 3:
-		err = accuracyTable(-0.5, "Table III: average RMS errors in IDS, EF=-0.5eV", *optimize)
+		err = accuracyTable(ctx, -0.5, "Table III: average RMS errors in IDS, EF=-0.5eV", *optimize)
 	case 4:
-		err = accuracyTable(0, "Table IV: average RMS errors in IDS, EF=0eV", *optimize)
+		err = accuracyTable(ctx, 0, "Table IV: average RMS errors in IDS, EF=0eV", *optimize)
 	case 5:
 		// The Javey back-gate device has CΣ ~27x below the nominal
 		// device, which amplifies charge-fit error; the paper's
 		// breakpoints are a fit *result* for the nominal device, so
 		// table V re-derives them per the paper's method by default.
-		err = experimentTable(!*paperBreaks)
+		err = experimentTable(ctx, !*paperBreaks)
 	default:
 		err = fmt.Errorf("unknown table %d", *table)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cntrms:", err)
+		if errors.Is(err, engine.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
 // accuracyTable builds one of tables II-IV: rows are gate voltages,
 // column pairs are (Model 1, Model 2) per temperature.
-func accuracyTable(ef float64, title string, optimize bool) error {
+func accuracyTable(ctx context.Context, ef float64, title string, optimize bool) error {
 	temps := []float64{150, 300, 450}
 	vgs := sweep.TableGates()
 	vds := sweep.Grid()
@@ -65,7 +76,15 @@ func accuracyTable(ef float64, title string, optimize bool) error {
 		if err != nil {
 			return err
 		}
-		famRef, err := cntfet.Family(ref, vgs, vds)
+		// The reference family is swept once per temperature and reused
+		// as the precomputed RefFamily of both models' compare jobs.
+		refJob, err := engine.Run(ctx, engine.Request{
+			Kind:     engine.FamilySweep,
+			Model:    ref,
+			Gates:    vgs,
+			Drains:   vds,
+			Strategy: engine.Serial,
+		})
 		if err != nil {
 			return err
 		}
@@ -75,15 +94,18 @@ func accuracyTable(ef float64, title string, optimize bool) error {
 			if err != nil {
 				return err
 			}
-			famFast, err := cntfet.Family(m, vgs, vds)
+			cmp, err := engine.Run(ctx, engine.Request{
+				Kind:      engine.RMSCompare,
+				Model:     m,
+				RefFamily: refJob.Family,
+				Gates:     vgs,
+				Drains:    vds,
+				Strategy:  engine.Serial,
+			})
 			if err != nil {
 				return err
 			}
-			errs, err := cntfet.CompareFamilies(famFast, famRef)
-			if err != nil {
-				return err
-			}
-			pair[mi] = errs
+			pair[mi] = cmp.RMSPercent
 		}
 		cells[temp] = pair
 	}
@@ -109,7 +131,7 @@ func accuracyTable(ef float64, title string, optimize bool) error {
 
 // experimentTable builds table V: RMS of FETToy theory and both
 // piecewise models against the synthetic experimental dataset.
-func experimentTable(optimize bool) error {
+func experimentTable(ctx context.Context, optimize bool) error {
 	vgs := expdata.TableGates()
 	vds := expdata.PaperVDS(41)
 	ds, err := expdata.Generate(vgs, vds)
@@ -129,26 +151,40 @@ func experimentTable(optimize bool) error {
 		return err
 	}
 
-	tb := report.NewTable(
-		"Table V: average RMS errors vs experiment, d=1.6nm tox=50nm T=300K EF=-0.05eV",
-		"VG[V]", "FETToy", "Model 1", "Model 2")
-	for _, vg := range vgs {
+	// The experimental dataset is the fixed RefFamily every model is
+	// compared against: one compare job per model column.
+	expFam := make([]sweep.Curve, len(vgs))
+	for i, vg := range vgs {
 		exp, err := ds.Curve(vg)
 		if err != nil {
 			return err
 		}
-		expCurve := sweep.Curve{VG: vg, VDS: vds, IDS: exp}
+		expFam[i] = sweep.Curve{VG: vg, VDS: vds, IDS: exp}
+	}
+	models := []cntfet.Transistor{ref, m1, m2}
+	errsByModel := make([][]float64, len(models))
+	for mi, m := range models {
+		cmp, err := engine.Run(ctx, engine.Request{
+			Kind:      engine.RMSCompare,
+			Model:     m,
+			RefFamily: expFam,
+			Gates:     vgs,
+			Drains:    vds,
+			Strategy:  engine.Serial,
+		})
+		if err != nil {
+			return err
+		}
+		errsByModel[mi] = cmp.RMSPercent
+	}
+
+	tb := report.NewTable(
+		"Table V: average RMS errors vs experiment, d=1.6nm tox=50nm T=300K EF=-0.05eV",
+		"VG[V]", "FETToy", "Model 1", "Model 2")
+	for gi, vg := range vgs {
 		row := []string{fmt.Sprintf("%.1f", vg)}
-		for _, m := range []cntfet.Transistor{ref, m1, m2} {
-			c, err := cntfet.Trace(m, vg, vds)
-			if err != nil {
-				return err
-			}
-			e, err := cntfet.RMSPercent(c, expCurve)
-			if err != nil {
-				return err
-			}
-			row = append(row, fmt.Sprintf("%.1f%%", e))
+		for mi := range models {
+			row = append(row, fmt.Sprintf("%.1f%%", errsByModel[mi][gi]))
 		}
 		tb.AddRow(row...)
 	}

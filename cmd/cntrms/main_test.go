@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -37,7 +38,7 @@ func TestAccuracyTableStructure(t *testing.T) {
 		t.Skip("full grid is not short")
 	}
 	out := capture(t, func() error {
-		return accuracyTable(-0.32, "Table II: test run", false)
+		return accuracyTable(context.Background(), -0.32, "Table II: test run", false)
 	})
 	if !strings.Contains(out, "Table II") {
 		t.Fatalf("title missing:\n%s", out)
@@ -57,7 +58,7 @@ func TestExperimentTableStructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full grid is not short")
 	}
-	out := capture(t, func() error { return experimentTable(true) })
+	out := capture(t, func() error { return experimentTable(context.Background(), true) })
 	if !strings.Contains(out, "Table V") || !strings.Contains(out, "FETToy") {
 		t.Fatalf("output:\n%s", out)
 	}

@@ -14,11 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"cntfet/internal/engine"
 	"cntfet/internal/netlist"
 	"cntfet/internal/telemetry"
 )
@@ -35,13 +40,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *traceFile, *metrics); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, flag.Arg(0), *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "cntspice:", err)
+		if errors.Is(err, engine.ErrCanceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(deckArg, traceFile string, metrics bool) error {
+func run(ctx context.Context, deckArg, traceFile string, metrics bool) error {
 	var src []byte
 	var err error
 	if deckArg == "-" {
@@ -68,7 +78,11 @@ func run(deckArg, traceFile string, metrics bool) error {
 	if deck.Title != "" {
 		fmt.Println("*", deck.Title)
 	}
-	if err := deck.Run(os.Stdout); err != nil {
+	if _, err := engine.Run(ctx, engine.Request{
+		Kind:   engine.Netlist,
+		Deck:   deck,
+		Output: os.Stdout,
+	}); err != nil {
 		return err
 	}
 	if tr != nil {

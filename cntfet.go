@@ -31,7 +31,10 @@
 package cntfet
 
 import (
+	"context"
+
 	"cntfet/internal/core"
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 	"cntfet/internal/sweep"
 )
@@ -83,13 +86,12 @@ type FitQuality = core.FitQuality
 // Curve is one IDS(VDS) sweep at fixed VG.
 type Curve = sweep.Curve
 
-// Transistor is the interface both model families implement.
-type Transistor interface {
-	// IDS returns the drain-source current in amperes.
-	IDS(Bias) (float64, error)
-	// Solve returns the full operating point.
-	Solve(Bias) (OperatingPoint, error)
-}
+// Transistor is the interface both model families implement: the core
+// capability set of internal/device (IDS plus the full operating
+// point). Optional capabilities — warm start, batched rows, analytic
+// gradients, cancellable pre-build — are part of the same family; see
+// internal/device for discovery by type assertion.
+type Transistor = device.Device
 
 // Compile-time interface checks.
 var (
@@ -165,7 +167,7 @@ func Trace(m Transistor, vg float64, vds []float64) (Curve, error) {
 
 // Family sweeps one curve per gate voltage on a shared VDS grid.
 func Family(m Transistor, vgs, vds []float64) ([]Curve, error) {
-	return sweep.Family(m, vgs, vds)
+	return sweep.Family(context.Background(), m, vgs, vds)
 }
 
 // FamilyParallel is Family with worker goroutines and chunked row
@@ -175,7 +177,7 @@ func Family(m Transistor, vgs, vds []float64) ([]Curve, error) {
 // Workers thread warm-start continuation along each VDS row. workers
 // <= 0 uses GOMAXPROCS.
 func FamilyParallel(m Transistor, vgs, vds []float64, workers int) ([]Curve, error) {
-	return sweep.FamilyParallel(m, vgs, vds, workers)
+	return sweep.FamilyParallel(context.Background(), m, vgs, vds, workers)
 }
 
 // FamilyBatch is Family through the models' batched evaluation path:
@@ -183,7 +185,7 @@ func FamilyParallel(m Transistor, vgs, vds []float64, workers int) ([]Curve, err
 // overhead for the piecewise models and threads warm-start
 // continuation for the reference model.
 func FamilyBatch(m Transistor, vgs, vds []float64) ([]Curve, error) {
-	return sweep.FamilyBatch(m, vgs, vds)
+	return sweep.FamilyBatch(context.Background(), m, vgs, vds)
 }
 
 // RMSPercent computes the paper's per-curve error metric

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cntfet/internal/core"
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 )
 
@@ -330,7 +331,7 @@ func TestPolarityString(t *testing.T) {
 
 // numericOnly wraps a model to hide its analytic Conductances method,
 // forcing the element onto the finite-difference path.
-type numericOnly struct{ m TransistorModel }
+type numericOnly struct{ m device.Solver }
 
 func (n numericOnly) IDS(b fettoy.Bias) (float64, error) { return n.m.IDS(b) }
 

@@ -3,25 +3,9 @@ package circuit
 import (
 	"fmt"
 
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 )
-
-// TransistorModel is the device-model dependency of the CNTFET
-// element; both the reference theory and the paper's piecewise models
-// satisfy it (it mirrors cntfet.Transistor without importing the
-// public package).
-type TransistorModel interface {
-	IDS(fettoy.Bias) (float64, error)
-}
-
-// ConductanceModel is the optional fast path: models that provide
-// analytic small-signal parameters (both library models do). The
-// element uses it for the Newton Jacobian instead of finite
-// differences, saving two device solves per stamp.
-type ConductanceModel interface {
-	TransistorModel
-	Conductances(fettoy.Bias) (ids, gm, gds float64, err error)
-}
 
 // Polarity selects n- or p-type behaviour. The ballistic theory models
 // an n-type device; the p-type is its complementary mirror (standard
@@ -43,13 +27,16 @@ func (p Polarity) String() string {
 }
 
 // CNTFET is a three-terminal ballistic CNT transistor element backed
-// by a TransistorModel. Gate current is zero (the DC model has an
+// by any model satisfying the core device.Solver capability; when the
+// model additionally provides device.GradientSolver (both library
+// models do) the Newton Jacobian uses analytic conductances instead of
+// finite differences. Gate current is zero (the DC model has an
 // insulated gate); gate capacitance, when it matters, is added as
 // explicit Capacitor elements.
 type CNTFET struct {
 	Label   string
 	D, G, S string
-	Model   TransistorModel
+	Model   device.Solver
 	Pol     Polarity
 	// Tubes multiplies the drain current (parallel nanotubes in one
 	// device, as fabricated CNFET logic gates do to boost drive).
@@ -110,7 +97,7 @@ func (m *CNTFET) ids(vd, vg, vs float64) (float64, error) {
 // derivatives (∂i/∂vg, ∂i/∂vd at fixed vs), using the model's
 // analytic path when available and central differences otherwise.
 func (m *CNTFET) conductances(vd, vg, vs float64) (id, gm, gds float64, err error) {
-	if cm, ok := m.Model.(ConductanceModel); ok {
+	if cm, ok := m.Model.(device.GradientSolver); ok {
 		b, sigma, sp, reversed := m.transform(vd, vg, vs)
 		mi, mgm, mgds, err := cm.Conductances(b)
 		if err != nil {

@@ -1,0 +1,13 @@
+package core
+
+import "cntfet/internal/device"
+
+// The piecewise closed-form model provides every capability except
+// ContextBuilder — it has no deferred construction (the charge-curve
+// fit happens eagerly in Fit, before the model exists).
+var (
+	_ device.Device         = (*Model)(nil)
+	_ device.WarmStarter    = (*Model)(nil)
+	_ device.BatchSolver    = (*Model)(nil)
+	_ device.GradientSolver = (*Model)(nil)
+)

@@ -1,0 +1,14 @@
+package device
+
+import "cntfet/internal/fettoy"
+
+// The reference theory model provides every capability. (The piecewise
+// model's assertions live in internal/core to keep this package's
+// import graph minimal; the public surface re-asserts both families.)
+var (
+	_ Device         = (*fettoy.Model)(nil)
+	_ WarmStarter    = (*fettoy.Model)(nil)
+	_ BatchSolver    = (*fettoy.Model)(nil)
+	_ GradientSolver = (*fettoy.Model)(nil)
+	_ ContextBuilder = (*fettoy.Model)(nil)
+)

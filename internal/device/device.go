@@ -1,0 +1,85 @@
+// Package device declares the single capability interface set every
+// layer of the library programs against. Before it existed, the same
+// two model families (the FETToy-style reference theory in
+// internal/fettoy and the paper's piecewise closed-form models in
+// internal/core) were described three times over — sweep.CurrentSource
+// plus warm-start/batch extensions, circuit.TransistorModel plus a
+// conductance extension, and the public cntfet.Transistor — and each
+// consumer type-asserted against its private copy. This package is the
+// one place those contracts live:
+//
+//   - Solver is the core capability: a drain current at a bias point.
+//   - Device extends Solver with the full solved operating point.
+//   - WarmStarter, BatchSolver, GradientSolver and ContextBuilder are
+//     optional capabilities discovered by type assertion, never
+//     required: warm-start continuation along a sweep row, batched
+//     evaluation that amortises per-call overhead, analytic
+//     small-signal parameters for circuit Jacobians, and deferred
+//     construction (charge-table builds) that honours a context.
+//
+// Consumers accept the smallest interface they need (usually Solver)
+// and upgrade opportunistically; providers implement whatever their
+// numerics support. The orchestration layer that routes jobs over
+// these capabilities is internal/engine.
+package device
+
+import (
+	"context"
+
+	"cntfet/internal/fettoy"
+)
+
+// Solver is the core evaluate capability: produce a drain-source
+// current at one bias point. Both library model families satisfy it,
+// and it is the minimum contract every sweep, circuit element and
+// engine job requires.
+type Solver interface {
+	// IDS returns the drain-source current in amperes.
+	IDS(fettoy.Bias) (float64, error)
+}
+
+// Device is a Solver that can also report the full solved operating
+// point (self-consistent voltage, current, terminal charges). The
+// public cntfet.Transistor interface aliases it.
+type Device interface {
+	Solver
+	// Solve returns the full operating point.
+	Solve(fettoy.Bias) (fettoy.OperatingPoint, error)
+}
+
+// WarmStarter is the optional warm-start capability: IDSFrom starts
+// the solve at guess (NaN means cold) and returns the solved
+// self-consistent voltage for the caller to thread into the next
+// point. The reference model warm-starts its Newton iteration; the
+// piecewise models satisfy the interface trivially (the closed form
+// has no iteration state, so the guess is ignored).
+type WarmStarter interface {
+	IDSFrom(b fettoy.Bias, guess float64) (ids, vsc float64, err error)
+}
+
+// BatchSolver is the optional batched-evaluation capability: evaluate
+// many bias points in one call, amortising per-call overhead
+// (interface dispatch, error wrapping, telemetry gating) across the
+// batch. out must be at least as long as bias.
+type BatchSolver interface {
+	IDSBatch(bias []fettoy.Bias, out []float64) error
+}
+
+// GradientSolver is the optional analytic small-signal capability:
+// the drain current together with gm = ∂IDS/∂VG and gds = ∂IDS/∂VD.
+// The circuit simulator uses it for Newton Jacobians instead of finite
+// differences, saving two device solves per stamp.
+type GradientSolver interface {
+	Conductances(b fettoy.Bias) (ids, gm, gds float64, err error)
+}
+
+// ContextBuilder is the optional deferred-construction capability:
+// models with an expensive lazy build step (the reference model's
+// adaptive charge-table tabulation) expose it so orchestration can run
+// the build under a cancellable context instead of paying for it
+// implicitly — and uncancellably — inside the first solve.
+type ContextBuilder interface {
+	// BuildContext completes any deferred construction, honouring ctx.
+	// It is a no-op when there is nothing to build.
+	BuildContext(ctx context.Context) error
+}

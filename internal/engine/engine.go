@@ -1,0 +1,348 @@
+// Package engine is the orchestration layer between the device models
+// and every front-end: one request/response job API over the unified
+// capability interfaces of internal/device. CLIs (and the forthcoming
+// server front-end) build a Request, call Run with a context, and
+// print from the Result — model selection, sweep-strategy dispatch,
+// cancellation, error classification and request-scoped telemetry all
+// live here instead of being re-implemented per front-end.
+//
+// Job lifecycle:
+//
+//	Request ── validate ── pre-build (device.ContextBuilder, cancellable)
+//	        ── dispatch by Kind over capability interfaces
+//	        ── Result{payload, Metrics: counter deltas, Elapsed}
+//	        └─ on failure: *JobError{Kind, Class, Err}  (see errors.go)
+//
+// Cancellation is cooperative and prompt: the context threads through
+// the sweep worker loops (checked per point), the batched row loop,
+// the Monte Carlo sample loop, the netlist analysis loop and the
+// adaptive charge-table build.
+package engine
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"cntfet/internal/device"
+	"cntfet/internal/fettoy"
+	"cntfet/internal/netlist"
+	"cntfet/internal/sweep"
+	"cntfet/internal/telemetry"
+	"cntfet/internal/variation"
+)
+
+// Kind selects the job a Request describes.
+type Kind int
+
+// Job kinds.
+const (
+	// IVPoint solves one bias point: Result.IDS, and Result.OP when the
+	// model provides the full operating-point capability.
+	IVPoint Kind = iota + 1
+	// FamilySweep evaluates a family of IDS(VDS) curves, one per gate
+	// voltage: Result.Family. Repeat > 1 re-runs the sweep (benchmark
+	// loops); the last family is returned.
+	FamilySweep
+	// RMSCompare sweeps Model and a reference (Ref, or the precomputed
+	// RefFamily) on the same grid and computes the paper's per-gate RMS
+	// error: Result.Family, Result.RefFamily, Result.RMSPercent.
+	RMSCompare
+	// MonteCarlo runs a process-variability study: Result.MC.
+	MonteCarlo
+	// Netlist executes a parsed SPICE-style deck, writing analysis
+	// tables to Output.
+	Netlist
+)
+
+func (k Kind) String() string {
+	switch k {
+	case IVPoint:
+		return "iv-point"
+	case FamilySweep:
+		return "family-sweep"
+	case RMSCompare:
+		return "rms-compare"
+	case MonteCarlo:
+		return "monte-carlo"
+	case Netlist:
+		return "netlist"
+	}
+	return "unknown"
+}
+
+// Strategy selects how a family sweep is scheduled.
+type Strategy int
+
+// Sweep strategies.
+const (
+	// Auto picks Parallel when Workers > 1, Batch otherwise — the right
+	// default for both model families (the piecewise models' closed
+	// form is below scheduling overhead; the reference model
+	// warm-starts along batched rows).
+	Auto Strategy = iota
+	// Serial forces the plain row-by-row Family loop (the paper's
+	// Table I benchmark protocol).
+	Serial
+	// Batch forces the device.BatchSolver path with serial fallback.
+	Batch
+	// Parallel forces the chunked worker scheduler.
+	Parallel
+)
+
+// Request describes one job. Kind selects which fields matter; the
+// per-kind validation rejects missing ones with ErrInvalidRequest.
+type Request struct {
+	Kind Kind
+
+	// Model is the device under test (IVPoint, FamilySweep,
+	// RMSCompare). Optional capabilities — warm start, batch, analytic
+	// gradients, cancellable pre-build — are discovered by type
+	// assertion against internal/device.
+	Model device.Solver
+	// Ref is the reference device an RMSCompare sweeps on the same
+	// grid. Alternatively RefFamily supplies precomputed (or
+	// experimental) reference curves; exactly one must be set.
+	Ref       device.Solver
+	RefFamily []sweep.Curve
+
+	// Bias is the operating point (IVPoint, MonteCarlo).
+	Bias fettoy.Bias
+	// Gates and Drains define the sweep grid (FamilySweep, RMSCompare).
+	Gates, Drains []float64
+	// Strategy and Workers steer sweep scheduling; see Strategy.
+	Strategy Strategy
+	Workers  int
+	// Repeat re-runs a FamilySweep (benchmark loops). 0 means once.
+	Repeat int
+
+	// Device and the fields below parameterise a MonteCarlo study.
+	Device  fettoy.Device
+	Spread  variation.Spread
+	Samples int
+	Seed    int64
+
+	// Deck and Output drive a Netlist job. A nil Output discards the
+	// analysis tables (the Metrics still report the solver work).
+	Deck   *netlist.Deck
+	Output io.Writer
+}
+
+// Result is a job's response. Only the fields of the requested Kind
+// are populated, plus the request-scoped observability pair: Metrics
+// (telemetry counter deltas attributable to this job — non-zero deltas
+// only) and Elapsed.
+type Result struct {
+	// IDS and OP answer an IVPoint (OP only when the model implements
+	// device.Device; OP.IDS == IDS then).
+	IDS float64
+	OP  fettoy.OperatingPoint
+
+	// Family answers FamilySweep and RMSCompare; RefFamily and
+	// RMSPercent (one entry per gate voltage) answer RMSCompare.
+	Family     []sweep.Curve
+	RefFamily  []sweep.Curve
+	RMSPercent []float64
+
+	// MC answers MonteCarlo.
+	MC *variation.Result
+
+	// Metrics holds the per-job telemetry counter deltas (quadrature
+	// points, Newton iterations, sweep points, ...). Deltas are exact
+	// for a job running alone and attributably approximate under
+	// concurrent jobs (the registry is process-wide).
+	Metrics map[string]int64
+	// Elapsed is the wall-clock job duration.
+	Elapsed time.Duration
+}
+
+// Run executes one job. It is safe for concurrent use; the models
+// referenced by the request must themselves be safe for concurrent use
+// if shared across jobs (both library models are, after construction).
+// Errors are classified — see JobError.
+func Run(ctx context.Context, req Request) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg := telemetry.Default()
+	before := reg.Snapshot().Counters
+	start := time.Now()
+	res, err := dispatch(ctx, req)
+	res.Elapsed = time.Since(start)
+	res.Metrics = counterDelta(before, reg.Snapshot().Counters)
+	if err != nil {
+		return res, classify(req.Kind, err)
+	}
+	return res, nil
+}
+
+func dispatch(ctx context.Context, req Request) (Result, error) {
+	if err := context.Cause(ctx); err != nil {
+		return Result{}, err
+	}
+	switch req.Kind {
+	case IVPoint:
+		return runIVPoint(req)
+	case FamilySweep:
+		return runFamily(ctx, req)
+	case RMSCompare:
+		return runRMSCompare(ctx, req)
+	case MonteCarlo:
+		return runMonteCarlo(ctx, req)
+	case Netlist:
+		return runNetlist(ctx, req)
+	}
+	return Result{}, invalidf("engine: unknown job kind %d", int(req.Kind))
+}
+
+func runIVPoint(req Request) (Result, error) {
+	if req.Model == nil {
+		return Result{}, invalidf("engine: %s needs Model", req.Kind)
+	}
+	var res Result
+	if d, ok := req.Model.(device.Device); ok {
+		op, err := d.Solve(req.Bias)
+		if err != nil {
+			return Result{}, err
+		}
+		res.OP = op
+		res.IDS = op.IDS
+		return res, nil
+	}
+	ids, err := req.Model.IDS(req.Bias)
+	if err != nil {
+		return Result{}, err
+	}
+	res.IDS = ids
+	return res, nil
+}
+
+// prebuild completes a model's deferred construction (charge-table
+// tabulation) under the job's context, so the one-time cost is
+// cancellable instead of hiding inside the first solve.
+func prebuild(ctx context.Context, m device.Solver) error {
+	if cb, ok := m.(device.ContextBuilder); ok {
+		return cb.BuildContext(ctx)
+	}
+	return nil
+}
+
+// familyOnce runs one family sweep under the resolved strategy.
+func familyOnce(ctx context.Context, req Request, m device.Solver) ([]sweep.Curve, error) {
+	st := req.Strategy
+	if st == Auto {
+		if req.Workers > 1 {
+			st = Parallel
+		} else {
+			st = Batch
+		}
+	}
+	switch st {
+	case Serial:
+		return sweep.Family(ctx, m, req.Gates, req.Drains)
+	case Parallel:
+		return sweep.FamilyParallel(ctx, m, req.Gates, req.Drains, req.Workers)
+	default:
+		return sweep.FamilyBatch(ctx, m, req.Gates, req.Drains)
+	}
+}
+
+func validateGrid(req Request) error {
+	if req.Model == nil {
+		return invalidf("engine: %s needs Model", req.Kind)
+	}
+	if len(req.Gates) == 0 || len(req.Drains) == 0 {
+		return invalidf("engine: %s needs a non-empty Gates x Drains grid", req.Kind)
+	}
+	return nil
+}
+
+func runFamily(ctx context.Context, req Request) (Result, error) {
+	if err := validateGrid(req); err != nil {
+		return Result{}, err
+	}
+	if err := prebuild(ctx, req.Model); err != nil {
+		return Result{}, err
+	}
+	repeat := req.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	var res Result
+	for i := 0; i < repeat; i++ {
+		fam, err := familyOnce(ctx, req, req.Model)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Family = fam
+	}
+	return res, nil
+}
+
+func runRMSCompare(ctx context.Context, req Request) (Result, error) {
+	if err := validateGrid(req); err != nil {
+		return Result{}, err
+	}
+	if (req.Ref == nil) == (req.RefFamily == nil) {
+		return Result{}, invalidf("engine: %s needs exactly one of Ref or RefFamily", req.Kind)
+	}
+	var res Result
+	refFam := req.RefFamily
+	if req.Ref != nil {
+		if err := prebuild(ctx, req.Ref); err != nil {
+			return Result{}, err
+		}
+		var err error
+		if refFam, err = familyOnce(ctx, req, req.Ref); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := prebuild(ctx, req.Model); err != nil {
+		return Result{}, err
+	}
+	fam, err := familyOnce(ctx, req, req.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	rms, err := sweep.CompareFamilies(fam, refFam)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Family = fam
+	res.RefFamily = refFam
+	res.RMSPercent = rms
+	return res, nil
+}
+
+func runMonteCarlo(ctx context.Context, req Request) (Result, error) {
+	if req.Samples < 1 {
+		return Result{}, invalidf("engine: %s needs Samples >= 1, got %d", req.Kind, req.Samples)
+	}
+	mc, err := variation.MonteCarloIDS(ctx, req.Device, req.Spread, req.Bias, req.Samples, req.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{MC: &mc}, nil
+}
+
+func runNetlist(ctx context.Context, req Request) (Result, error) {
+	if req.Deck == nil {
+		return Result{}, invalidf("engine: %s needs Deck", req.Kind)
+	}
+	out := req.Output
+	if out == nil {
+		out = io.Discard
+	}
+	return Result{}, req.Deck.RunContext(ctx, out)
+}
+
+// counterDelta keeps the non-zero counter movements of one job.
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	d := make(map[string]int64)
+	for k, v := range after {
+		if dv := v - before[k]; dv != 0 {
+			d[k] = dv
+		}
+	}
+	return d
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cntfet/internal/circuit"
+	"cntfet/internal/rootfind"
+)
+
+// The engine's error taxonomy. Every error returned by Run is a
+// *JobError whose Unwrap chain carries one of these class sentinels
+// (when the failure is classifiable) alongside the underlying cause,
+// so callers distinguish the three failure families with errors.Is and
+// still reach the concrete diagnostics — rootfind.ErrBadBracket,
+// *circuit.ConvergenceError and friends — with errors.Is/errors.As.
+var (
+	// ErrCanceled marks a user abort: the request's context was
+	// canceled or timed out. errors.Is against context.Canceled /
+	// context.DeadlineExceeded (or the cancel cause) also holds.
+	ErrCanceled = errors.New("engine: job canceled")
+
+	// ErrNumerical marks a solver failure: a root bracket that never
+	// enclosed a sign change, a Newton iteration that hit its limit, or
+	// a circuit operating point that did not converge.
+	ErrNumerical = errors.New("engine: numerical failure")
+
+	// ErrInvalidRequest marks a malformed Request — wrong field
+	// combination for the job kind, not a solver problem.
+	ErrInvalidRequest = errors.New("engine: invalid request")
+)
+
+// JobError is the typed failure Run returns: the job kind that failed,
+// the taxonomy class (nil when unclassified), and the underlying
+// error. Unwrap exposes both the class sentinel and the cause, so
+//
+//	errors.Is(err, engine.ErrCanceled)
+//	errors.Is(err, rootfind.ErrBadBracket)
+//	errors.As(err, &convergenceErr)
+//
+// all work end-to-end through an engine.Run call.
+type JobError struct {
+	Kind  Kind
+	Class error
+	Err   error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("engine: %s job: %v", e.Kind, e.Err)
+}
+
+// Unwrap exposes the class sentinel and the underlying cause to the
+// errors.Is/errors.As traversal.
+func (e *JobError) Unwrap() []error {
+	if e.Class == nil {
+		return []error{e.Err}
+	}
+	return []error{e.Class, e.Err}
+}
+
+// classify wraps a job failure into the taxonomy. Errors that are
+// already JobErrors pass through unchanged.
+func classify(kind Kind, err error) error {
+	var je *JobError
+	if errors.As(err, &je) {
+		return err
+	}
+	return &JobError{Kind: kind, Class: classOf(err), Err: err}
+}
+
+// classOf maps an underlying error to its taxonomy sentinel, or nil
+// when it fits no class. Cancellation is checked first: a sweep
+// aborted mid-flight may surface either the context error or a partial
+// numerical failure, and the user's abort is the truth of what
+// happened.
+func classOf(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrCanceled
+	case errors.Is(err, ErrInvalidRequest):
+		return nil // invalid marks itself; no second class needed
+	case isNumerical(err):
+		return ErrNumerical
+	}
+	return nil
+}
+
+// isNumerical reports whether err originates in a solver: a failed
+// root bracket, an iteration limit, or circuit non-convergence. The
+// sentinel checks travel the %w chains the solvers build
+// (fettoy wraps rootfind errors; *circuit.ConvergenceError unwraps to
+// circuit.ErrNoConvergence).
+func isNumerical(err error) bool {
+	if errors.Is(err, rootfind.ErrBadBracket) ||
+		errors.Is(err, rootfind.ErrMaxIter) ||
+		errors.Is(err, circuit.ErrNoConvergence) {
+		return true
+	}
+	var ce *circuit.ConvergenceError
+	return errors.As(err, &ce)
+}
+
+// invalidf builds an ErrInvalidRequest violation.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrInvalidRequest)...)
+}

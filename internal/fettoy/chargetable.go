@@ -1,6 +1,8 @@
 package fettoy
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -66,20 +68,24 @@ type tableData struct {
 // count tracks kT (colder devices need finer grids near the band edge).
 //
 // A ChargeTable is safe for concurrent use: the first lookup triggers
-// exactly one build (later lookups block until it is published), and
-// the published grid is immutable afterwards. The table never
-// invalidates — it is keyed to its Model, whose device parameters are
-// fixed at construction; a new device, temperature or Fermi level means
-// a new Model and therefore a new table.
+// one build (later lookups block until it is published), and the
+// published grid is immutable afterwards. A build canceled through
+// BuildContext leaves the table unbuilt — the next lookup or build
+// simply retries. The table never invalidates — it is keyed to its
+// Model, whose device parameters are fixed at construction; a new
+// device, temperature or Fermi level means a new Model and therefore a
+// new table.
 //
 // Work is observable through the fettoy.table.* telemetry counters:
 // builds and nodes record construction cost, hits and misses record
 // how lookups split between interpolation and the direct-quadrature
 // fallback.
 type ChargeTable struct {
-	m    *Model
-	opt  TableOptions
-	once sync.Once
+	m   *Model
+	opt TableOptions
+	// mu serialises builds; data publishes the immutable result. A
+	// mutex (not sync.Once) so a canceled build can be retried.
+	mu   sync.Mutex
 	data atomic.Pointer[tableData]
 }
 
@@ -110,6 +116,28 @@ func (m *Model) Table() *ChargeTable { return m.table }
 // callers can keep the one-time quadrature cost out of timed regions.
 func (t *ChargeTable) Build() { t.tab() }
 
+// BuildContext is Build under a cancellable context: the adaptive
+// refinement checks ctx between quadrature evaluations (each costs
+// ~10 µs, so cancellation lands promptly) and returns an error
+// wrapping the context's cause when aborted. A canceled build leaves
+// the table unbuilt; retrying later — with this method, Build, or a
+// plain lookup — starts over.
+func (t *ChargeTable) BuildContext(ctx context.Context) error {
+	_, err := t.tabCtx(ctx)
+	return err
+}
+
+// BuildContext implements the optional device.ContextBuilder
+// capability on the model itself: it pre-builds the attached charge
+// table, if any, under the caller's context. Models running on direct
+// quadrature have nothing to build.
+func (m *Model) BuildContext(ctx context.Context) error {
+	if m.table == nil {
+		return nil
+	}
+	return m.table.BuildContext(ctx)
+}
+
 // Nodes returns the adaptive grid size (building the table if needed).
 func (t *ChargeTable) Nodes() int { return len(t.tab().u) }
 
@@ -128,18 +156,33 @@ func (t *ChargeTable) At(u float64) (n, nprime float64) {
 	return t.m.N(u), t.m.NPrime(u)
 }
 
-// tab returns the built grid, building it exactly once on first use.
+// tab returns the built grid, building it on first use. Lookups carry
+// no context, so the implicit build is non-cancellable by design.
 func (t *ChargeTable) tab() *tableData {
+	d, _ := t.tabCtx(context.Background())
+	return d
+}
+
+// tabCtx returns the built grid, building it under ctx if needed. The
+// double-checked atomic keeps the hot lookup path lock-free once the
+// grid is published.
+func (t *ChargeTable) tabCtx(ctx context.Context) (*tableData, error) {
 	if d := t.data.Load(); d != nil {
-		return d
+		return d, nil
 	}
-	t.once.Do(func() {
-		d := t.build()
-		t.data.Store(d)
-		metrics.tableBuilds.Inc()
-		metrics.tableNodes.Add(int64(len(d.u)))
-	})
-	return t.data.Load()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d := t.data.Load(); d != nil {
+		return d, nil
+	}
+	d, err := t.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t.data.Store(d)
+	metrics.tableBuilds.Inc()
+	metrics.tableNodes.Add(int64(len(d.u)))
+	return d, nil
 }
 
 // eval is the allocation-free lookup the solver hot path uses: the
@@ -169,10 +212,20 @@ func (t *ChargeTable) eval(u float64) (n, nprime float64, ok bool) {
 // build samples the exact integrals on a uniform grid, then bisects any
 // interval whose Hermite midpoint error exceeds the accuracy bound.
 // Refinement recursion is bounded both by depth (12 halvings of the
-// initial spacing) and by the MaxNodes budget.
-func (t *ChargeTable) build() *tableData {
+// initial spacing) and by the MaxNodes budget. ctx is checked before
+// every exact-integral evaluation (the unit of real work).
+func (t *ChargeTable) build(ctx context.Context) (*tableData, error) {
 	opt := t.opt
 	m := t.m
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 
 	type node struct{ u, n, np float64 }
 	at := func(u float64) node { return node{u, m.N(u), m.NPrime(u)} }
@@ -180,6 +233,9 @@ func (t *ChargeTable) build() *tableData {
 	init := make([]node, opt.InitIntervals+1)
 	scale := 0.0
 	for i := range init {
+		if canceled() {
+			return nil, fmt.Errorf("fettoy: table build canceled: %w", context.Cause(ctx))
+		}
 		u := opt.UMin + (opt.UMax-opt.UMin)*float64(i)/float64(opt.InitIntervals)
 		init[i] = at(u)
 		if a := math.Abs(init[i].n); a > scale {
@@ -192,7 +248,7 @@ func (t *ChargeTable) build() *tableData {
 	budget := opt.MaxNodes - len(init)
 	var refine func(a, b node, depth int)
 	refine = func(a, b node, depth int) {
-		if depth <= 0 || budget <= 0 {
+		if depth <= 0 || budget <= 0 || canceled() {
 			return
 		}
 		um := 0.5 * (a.u + b.u)
@@ -223,6 +279,9 @@ func (t *ChargeTable) build() *tableData {
 		refine(init[i], init[i+1], 12)
 	}
 	out = append(out, init[len(init)-1])
+	if canceled() {
+		return nil, fmt.Errorf("fettoy: table build canceled: %w", context.Cause(ctx))
+	}
 
 	d := &tableData{
 		u:     make([]float64, len(out)),
@@ -235,5 +294,5 @@ func (t *ChargeTable) build() *tableData {
 		d.n[i] = nd.n
 		d.np[i] = nd.np
 	}
-	return d
+	return d, nil
 }

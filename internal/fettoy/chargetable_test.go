@@ -1,10 +1,49 @@
 package fettoy
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
 )
+
+// TestBuildContextCancelAndRetry: a canceled build must return an
+// error wrapping the context's cause, leave the table unbuilt, and a
+// later build (or lookup) must start over and succeed — the
+// mutex-plus-atomic publication this depends on is why the table does
+// not use sync.Once.
+func TestBuildContextCancelAndRetry(t *testing.T) {
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := m.EnableTable(TableOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tab.BuildContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	// Model-level ContextBuilder surfaces the same failure.
+	if err := m.BuildContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("model BuildContext: want context.Canceled, got %v", err)
+	}
+	// Retry under a live context succeeds and publishes a real grid.
+	if err := tab.BuildContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := tab.Nodes(); n < 65 {
+		t.Fatalf("retried build produced %d nodes", n)
+	}
+	// A model without a table has nothing to build, even canceled.
+	plain, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.BuildContext(ctx); err != nil {
+		t.Fatalf("table-less BuildContext: %v", err)
+	}
+}
 
 // TestChargeTableAccuracyAcrossDevices sweeps the interpolated state
 // density against the exact integrals over the operating-condition

@@ -16,12 +16,13 @@ import (
 	"fmt"
 
 	"cntfet/internal/circuit"
+	"cntfet/internal/device"
 )
 
 // Library carries the shared parameters of a gate family.
 type Library struct {
 	// Model is the transistor model both polarities use.
-	Model circuit.TransistorModel
+	Model device.Solver
 	// VDD is the supply voltage in volts.
 	VDD float64
 	// LoadCap is the capacitance attached to every gate output in

@@ -6,6 +6,7 @@ import (
 
 	"cntfet/internal/circuit"
 	"cntfet/internal/core"
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 )
 
@@ -284,7 +285,7 @@ func (d *Deck) parseModel(line string) error {
 }
 
 // build constructs (once) the transistor model behind a card.
-func (c *modelCard) build() (circuit.TransistorModel, error) {
+func (c *modelCard) build() (device.Solver, error) {
 	if c.built != nil {
 		return c.built, nil
 	}

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"cntfet/internal/circuit"
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 )
 
@@ -83,7 +84,7 @@ type modelCard struct {
 	name  string
 	level int
 	dev   fettoy.Device
-	built circuit.TransistorModel
+	built device.Solver
 }
 
 // Parse reads a netlist deck from source text.

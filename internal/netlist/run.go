@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,13 @@ import (
 // event log (JSON lines) and the counter snapshot ("* "-prefixed) to
 // the output. A trace already attached to the circuit (e.g. by the
 // cntspice -trace flag) is left alone — the caller owns its export.
-func (d *Deck) Run(w io.Writer) error {
+func (d *Deck) Run(w io.Writer) error { return d.RunContext(context.Background(), w) }
+
+// RunContext is Run under a cancellable context, checked between
+// analyses (one .op/.dc/.tran/.ac card is the unit of work). A
+// canceled deck returns an error wrapping the context's cause;
+// analyses already written to w stand.
+func (d *Deck) RunContext(ctx context.Context, w io.Writer) error {
 	if len(d.Analyses) == 0 {
 		return fmt.Errorf("netlist: deck has no analyses (.op/.dc/.tran)")
 	}
@@ -35,6 +42,9 @@ func (d *Deck) Run(w io.Writer) error {
 		d.Circuit.SetTrace(ownTrace)
 	}
 	for _, a := range d.Analyses {
+		if err := context.Cause(ctx); err != nil {
+			return fmt.Errorf("netlist: canceled before .%s: %w", a.Kind, err)
+		}
 		switch a.Kind {
 		case "op":
 			if err := d.runOP(w); err != nil {

@@ -1,44 +1,35 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 	"cntfet/internal/telemetry"
 )
 
-// WarmStarter is implemented by models whose solve benefits from a
-// neighbouring solution: IDSFrom starts the solve at guess (NaN means
-// cold) and returns the solved VSC for the caller to thread into the
-// next point. The reference model warm-starts its Newton iteration;
-// the piecewise models satisfy the interface trivially (the closed
-// form has no iteration state, so the guess is ignored).
-type WarmStarter interface {
-	IDSFrom(b fettoy.Bias, guess float64) (ids, vsc float64, err error)
-}
-
-// BatchCurrentSource is implemented by models that can evaluate many
-// bias points in one call, amortising per-call overhead (interface
-// dispatch, error wrapping, telemetry gating) across the batch. out
-// must be at least as long as bias.
-type BatchCurrentSource interface {
-	IDSBatch(bias []fettoy.Bias, out []float64) error
-}
-
 // FamilyBatch evaluates one curve per gate voltage like Family, but
-// routes each VDS row through IDSBatch when the model supports it —
-// the fast path for the piecewise models, whose ~0.2 µs closed-form
-// solve is otherwise comparable to the per-call plumbing around it,
-// and for the tabulated reference model, which warm-starts along the
-// row. Models without a batch path fall back to Family unchanged.
-func FamilyBatch(m CurrentSource, vgs, vds []float64) ([]Curve, error) {
-	bm, ok := m.(BatchCurrentSource)
+// routes each VDS row through the model's optional device.BatchSolver
+// capability when present — the fast path for the piecewise models,
+// whose ~0.2 µs closed-form solve is otherwise comparable to the
+// per-call plumbing around it, and for the tabulated reference model,
+// which warm-starts along the row. Models without a batch path fall
+// back to Family unchanged. Cancellation is honoured between rows.
+func FamilyBatch(ctx context.Context, m device.Solver, vgs, vds []float64) ([]Curve, error) {
+	bm, ok := m.(device.BatchSolver)
 	if !ok {
-		return Family(m, vgs, vds)
+		return Family(ctx, m, vgs, vds)
 	}
 	out := newFamily(vgs, vds)
 	bias := make([]fettoy.Bias, len(vds))
+	done := ctxDone(ctx)
 	for i, vg := range vgs {
+		select {
+		case <-done:
+			return nil, canceledErr(ctx)
+		default:
+		}
 		for j, vd := range vds {
 			bias[j] = fettoy.Bias{VG: vg, VD: vd}
 		}
@@ -46,6 +37,6 @@ func FamilyBatch(m CurrentSource, vgs, vds []float64) ([]Curve, error) {
 			return nil, fmt.Errorf("sweep: VG=%g: %w", vg, err)
 		}
 	}
-	telemetry.Default().Counter("sweep.points").Add(int64(len(vgs) * len(vds)))
+	countPoints(telemetry.Default(), false, -1, int64(len(vgs)*len(vds)), 0)
 	return out, nil
 }

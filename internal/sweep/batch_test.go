@@ -1,11 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
 
 	"cntfet/internal/core"
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 	"cntfet/internal/telemetry"
 )
@@ -28,11 +30,11 @@ func TestFamilyBatchBitForBitPiecewise(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		serial, err := Family(m, vgs, vds)
+		serial, err := Family(context.Background(), m, vgs, vds)
 		if err != nil {
 			t.Fatal(err)
 		}
-		batched, err := FamilyBatch(m, vgs, vds)
+		batched, err := FamilyBatch(context.Background(), m, vgs, vds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,11 +59,11 @@ func TestFamilyBatchReferenceModel(t *testing.T) {
 	}
 	vgs := []float64{0.3, 0.6}
 	vds := []float64{0, 0.15, 0.3, 0.45, 0.6}
-	serial, err := Family(ref, vgs, vds)
+	serial, err := Family(context.Background(), ref, vgs, vds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batched, err := FamilyBatch(ref, vgs, vds)
+	batched, err := FamilyBatch(context.Background(), ref, vgs, vds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestFamilyBatchReferenceModel(t *testing.T) {
 // TestFamilyBatchFallsBackToSerial checks that a model without an
 // IDSBatch method still sweeps through the plain interface.
 func TestFamilyBatchFallsBackToSerial(t *testing.T) {
-	fam, err := FamilyBatch(linearModel(2), []float64{0.5}, []float64{0.1, 0.2})
+	fam, err := FamilyBatch(context.Background(), linearModel(2), []float64{0.5}, []float64{0.1, 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestFamilyBatchFallsBackToSerial(t *testing.T) {
 
 func TestFamilyBatchPropagatesError(t *testing.T) {
 	sentinel := errors.New("boom")
-	if _, err := FamilyBatch(fake{err: sentinel}, []float64{0.1}, []float64{0.2}); !errors.Is(err, sentinel) {
+	if _, err := FamilyBatch(context.Background(), fake{err: sentinel}, []float64{0.1}, []float64{0.2}); !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -114,7 +116,7 @@ func TestFamilyParallelMatchesLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chunked, err := FamilyParallel(refB, vgs, vds, 4)
+	chunked, err := FamilyParallel(context.Background(), refB, vgs, vds, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,9 +150,11 @@ func (e errEvery) IDS(b fettoy.Bias) (float64, error) {
 func TestFamilyParallelCountsAllErrors(t *testing.T) {
 	telemetry.Disable()
 	reg := telemetry.Default()
-	for name, run := range map[string]func(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, error){
-		"chunked": FamilyParallel,
-		"legacy":  FamilyParallelLegacy,
+	for name, run := range map[string]func(m device.Solver, vgs, vds []float64, workers int) ([]Curve, error){
+		"chunked": func(m device.Solver, vgs, vds []float64, workers int) ([]Curve, error) {
+			return FamilyParallel(context.Background(), m, vgs, vds, workers)
+		},
+		"legacy": FamilyParallelLegacy,
 	} {
 		base := reg.Snapshot().Counters
 		vds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6} // 0.2, 0.4, 0.6 fail

@@ -1,12 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 	"cntfet/internal/telemetry"
 )
@@ -16,20 +17,27 @@ import (
 // row, drained from a buffered channel, so the per-point cost is the
 // solve itself rather than a channel hand-off. Within a chunk the
 // workers thread warm-start continuation when the model supports it
-// (see WarmStarter): each solve starts from the neighbouring root.
-// Both library models are safe for concurrent use after construction.
-// workers <= 0 selects GOMAXPROCS.
+// (see device.WarmStarter): each solve starts from the neighbouring
+// root. Both library models are safe for concurrent use after
+// construction. workers <= 0 selects GOMAXPROCS.
 //
-// Errors do not abort the sweep: the first one (in scheduling order of
-// discovery) is returned after all workers drain, and every failed
-// point counts into the sweep.errors telemetry counter regardless of
-// the telemetry gate, so partial failures are never silent.
+// Cancellation is honoured per point: when ctx is canceled the workers
+// stop promptly, every goroutine is joined before return, and the
+// error wraps the context's cause so callers can tell user abort from
+// numerical failure. Counters stay consistent — sweep.points counts
+// exactly the points that completed before the abort.
+//
+// Numerical errors do not abort the sweep: the first one (in
+// scheduling order of discovery) is returned after all workers drain,
+// and every failed point counts into the sweep.errors telemetry
+// counter regardless of the telemetry gate, so partial failures are
+// never silent.
 //
 // Use this for the reference model, where one operating point costs
 // ~100 µs of quadrature (or ~1 µs tabulated); for the piecewise models
 // the per-point cost (~0.2 µs) is below scheduling overhead and the
 // serial Family or FamilyBatch is usually faster.
-func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, error) {
+func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, workers int) ([]Curve, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -75,9 +83,9 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 	// records once, later errors only bump the shared counter.
 	var firstErr error
 	var errOnce sync.Once
-	var errCount atomic.Int64
 
-	ws, warm := m.(WarmStarter)
+	ws, warm := m.(device.WarmStarter)
+	done := ctxDone(ctx)
 	on := telemetry.On()
 	reg := telemetry.Default()
 	var wg sync.WaitGroup
@@ -85,13 +93,22 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			points := 0
+			var points, errs int64
 			if on {
 				defer reg.Timer(fmt.Sprintf("sweep.worker.%d.time", w)).Start()()
 			}
+			defer func() { countPoints(reg, on, w, points, errs) }()
+		drain:
 			for ck := range tasks {
 				guess := math.NaN()
 				for vi := ck.lo; vi < ck.hi; vi++ {
+					select {
+					case <-done:
+						// The tasks channel is pre-filled and closed, so
+						// abandoning the range leaves no blocked sender.
+						break drain
+					default:
+					}
 					b := fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
 					var ids float64
 					var err error
@@ -101,7 +118,7 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 						ids, err = m.IDS(b)
 					}
 					if err != nil {
-						errCount.Add(1)
+						errs++
 						errOnce.Do(func() {
 							firstErr = fmt.Errorf("sweep: VG=%g VDS=%g: %w", b.VG, b.VD, err)
 						})
@@ -112,17 +129,11 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 					out[ck.gi].IDS[vi] = ids
 				}
 			}
-			// Totals are recorded unconditionally (one atomic add per
-			// worker); only the per-worker instruments stay gated.
-			reg.Counter("sweep.points").Add(int64(points))
-			if on {
-				reg.Counter(fmt.Sprintf("sweep.worker.%d.points", w)).Add(int64(points))
-			}
 		}(w)
 	}
 	wg.Wait()
-	if n := errCount.Load(); n > 0 {
-		reg.Counter("sweep.errors").Add(n)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, canceledErr(ctx)
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -131,10 +142,11 @@ func FamilyParallel(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, 
 }
 
 // FamilyParallelLegacy is the pre-chunking scheduler: one bias point
-// per task, no warm starts. It is kept as the "before" half of the
-// cntbench -sweepbench comparison and the scheduling benchmarks; new
-// code should call FamilyParallel.
-func FamilyParallelLegacy(m CurrentSource, vgs, vds []float64, workers int) ([]Curve, error) {
+// per task, no warm starts, no cancellation. It exists only as the
+// "before" half of the cntbench -sweepbench comparison and the
+// scheduling benchmarks — new code must call FamilyParallel, which is
+// both faster and context-aware.
+func FamilyParallelLegacy(m device.Solver, vgs, vds []float64, workers int) ([]Curve, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -152,10 +164,11 @@ func FamilyParallelLegacy(m CurrentSource, vgs, vds []float64, workers int) ([]C
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			points, errs := 0, 0
+			var points, errs int64
 			if on {
 				defer reg.Timer(fmt.Sprintf("sweep.worker.%d.time", w)).Start()()
 			}
+			defer func() { countPoints(reg, on, w, points, errs) }()
 			for tk := range tasks {
 				ids, err := m.IDS(fettoy.Bias{VG: vgs[tk.gi], VD: vds[tk.vi]})
 				if err != nil {
@@ -169,13 +182,6 @@ func FamilyParallelLegacy(m CurrentSource, vgs, vds []float64, workers int) ([]C
 				}
 				points++
 				out[tk.gi].IDS[tk.vi] = ids
-			}
-			reg.Counter("sweep.points").Add(int64(points))
-			if errs > 0 {
-				reg.Counter("sweep.errors").Add(int64(errs))
-			}
-			if on {
-				reg.Counter(fmt.Sprintf("sweep.worker.%d.points", w)).Add(int64(points))
 			}
 		}(w)
 	}

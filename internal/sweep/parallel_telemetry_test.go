@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestFamilyParallelHammersTelemetry(t *testing.T) {
 		vds[i] = float64(i) * 0.01
 	}
 
-	out, err := FamilyParallel(noisySource{}, vgs, vds, workers)
+	out, err := FamilyParallel(context.Background(), noisySource{}, vgs, vds, workers)
 	if err != nil {
 		t.Fatal(err)
 	}

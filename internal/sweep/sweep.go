@@ -5,19 +5,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"cntfet/internal/device"
 	"cntfet/internal/fettoy"
 	"cntfet/internal/units"
 )
-
-// CurrentSource is any model that can produce a drain current at a
-// bias point; both the reference theory and the piecewise models
-// satisfy it.
-type CurrentSource interface {
-	IDS(fettoy.Bias) (float64, error)
-}
 
 // Curve is one IDS(VDS) sweep at a fixed gate voltage.
 type Curve struct {
@@ -26,8 +21,11 @@ type Curve struct {
 	IDS []float64
 }
 
-// Trace evaluates one curve on the given drain-voltage grid.
-func Trace(m CurrentSource, vg float64, vds []float64) (Curve, error) {
+// Trace evaluates one curve on the given drain-voltage grid. Models
+// are anything satisfying the core capability of internal/device; the
+// higher-level family sweeps upgrade to the optional warm-start and
+// batch capabilities by type assertion.
+func Trace(m device.Solver, vg float64, vds []float64) (Curve, error) {
 	c := Curve{VG: vg, VDS: append([]float64(nil), vds...), IDS: make([]float64, len(vds))}
 	for i, vd := range vds {
 		ids, err := m.IDS(fettoy.Bias{VG: vg, VD: vd})
@@ -40,9 +38,17 @@ func Trace(m CurrentSource, vg float64, vds []float64) (Curve, error) {
 }
 
 // Family evaluates one curve per gate voltage on a shared VDS grid.
-func Family(m CurrentSource, vgs, vds []float64) ([]Curve, error) {
+// Cancellation is honoured between rows: a canceled context returns an
+// error wrapping context.Canceled (or the cancel cause) and no curves.
+func Family(ctx context.Context, m device.Solver, vgs, vds []float64) ([]Curve, error) {
 	out := make([]Curve, 0, len(vgs))
+	done := ctxDone(ctx)
 	for _, vg := range vgs {
+		select {
+		case <-done:
+			return nil, canceledErr(ctx)
+		default:
+		}
 		c, err := Trace(m, vg, vds)
 		if err != nil {
 			return nil, err

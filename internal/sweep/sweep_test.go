@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -55,7 +56,7 @@ func TestTraceCopiesGrid(t *testing.T) {
 }
 
 func TestFamilyOrder(t *testing.T) {
-	fam, err := Family(linearModel(1), []float64{0.1, 0.2}, []float64{0.5})
+	fam, err := Family(context.Background(), linearModel(1), []float64{0.1, 0.2}, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +112,8 @@ func TestRMSPercentErrors(t *testing.T) {
 }
 
 func TestCompareFamilies(t *testing.T) {
-	ref, _ := Family(linearModel(1), []float64{0.2, 0.4}, []float64{0.1, 0.2})
-	model, _ := Family(linearModel(1.05), []float64{0.2, 0.4}, []float64{0.1, 0.2})
+	ref, _ := Family(context.Background(), linearModel(1), []float64{0.2, 0.4}, []float64{0.1, 0.2})
+	model, _ := Family(context.Background(), linearModel(1.05), []float64{0.2, 0.4}, []float64{0.1, 0.2})
 	errs, err := CompareFamilies(model, ref)
 	if err != nil {
 		t.Fatal(err)
@@ -129,8 +130,8 @@ func TestCompareFamilies(t *testing.T) {
 }
 
 func TestCompareFamiliesMismatch(t *testing.T) {
-	a, _ := Family(linearModel(1), []float64{0.2}, []float64{0.1})
-	b, _ := Family(linearModel(1), []float64{0.3}, []float64{0.1})
+	a, _ := Family(context.Background(), linearModel(1), []float64{0.2}, []float64{0.1})
+	b, _ := Family(context.Background(), linearModel(1), []float64{0.3}, []float64{0.1})
 	if _, err := CompareFamilies(a, b); err == nil {
 		t.Fatal("gate mismatch accepted")
 	}
@@ -155,7 +156,7 @@ func TestSweepDrivesRealModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fam, err := Family(ref, []float64{0.4}, []float64{0, 0.3, 0.6})
+	fam, err := Family(context.Background(), ref, []float64{0.4}, []float64{0, 0.3, 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +172,11 @@ func TestFamilyParallelMatchesSerial(t *testing.T) {
 	}
 	vgs := []float64{0.3, 0.5}
 	vds := []float64{0, 0.2, 0.4, 0.6}
-	serial, err := Family(ref, vgs, vds)
+	serial, err := Family(context.Background(), ref, vgs, vds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := FamilyParallel(ref, vgs, vds, 4)
+	parallel, err := FamilyParallel(context.Background(), ref, vgs, vds, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,14 +192,14 @@ func TestFamilyParallelMatchesSerial(t *testing.T) {
 
 func TestFamilyParallelPropagatesError(t *testing.T) {
 	sentinel := errors.New("device exploded")
-	_, err := FamilyParallel(fake{err: sentinel}, []float64{0.1}, []float64{0.2}, 2)
+	_, err := FamilyParallel(context.Background(), fake{err: sentinel}, []float64{0.1}, []float64{0.2}, 2)
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestFamilyParallelDefaultWorkers(t *testing.T) {
-	fam, err := FamilyParallel(linearModel(1), []float64{0.2}, []float64{0.1, 0.3}, 0)
+	fam, err := FamilyParallel(context.Background(), linearModel(1), []float64{0.2}, []float64{0.1, 0.3}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

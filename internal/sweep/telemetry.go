@@ -1,0 +1,44 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"cntfet/internal/telemetry"
+)
+
+// countPoints is the single recording path for per-sweep point
+// accounting, shared by the serial, batched, chunked-parallel and
+// legacy schedulers. Totals (sweep.points, sweep.errors) are recorded
+// unconditionally — partial failures must never be silent — while the
+// per-worker attribution counter stays behind the telemetry gate.
+// worker < 0 means the caller has no worker identity (serial and
+// batched paths).
+func countPoints(reg *telemetry.Registry, gateOn bool, worker int, points, errs int64) {
+	if points != 0 {
+		reg.Counter("sweep.points").Add(points)
+	}
+	if errs != 0 {
+		reg.Counter("sweep.errors").Add(errs)
+	}
+	if gateOn && worker >= 0 && points != 0 {
+		reg.Counter(fmt.Sprintf("sweep.worker.%d.points", worker)).Add(points)
+	}
+}
+
+// canceledErr wraps the context's error so engine-level callers can
+// classify the failure as a user abort (errors.Is against
+// context.Canceled / context.DeadlineExceeded keeps working) rather
+// than a numerical one.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("sweep: canceled: %w", context.Cause(ctx))
+}
+
+// ctxDone returns the context's done channel, tolerating a nil context
+// (treated as non-cancellable, like context.Background()).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

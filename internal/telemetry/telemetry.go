@@ -307,7 +307,7 @@ type HistStat struct {
 // Snapshot is a point-in-time JSON-ready copy of a registry. Counters
 // with value zero are included, so the schema is stable across runs.
 type Snapshot struct {
-	Counters   map[string]int64    `json:"counters"`
+	Counters   map[string]int64     `json:"counters"`
 	Timers     map[string]TimerStat `json:"timers,omitempty"`
 	Histograms map[string]HistStat  `json:"histograms,omitempty"`
 }

@@ -10,6 +10,7 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,8 +68,9 @@ func summarize(samples []float64) Result {
 // MonteCarloIDS draws n device variants around the base device and
 // returns the distribution of drain current at the given bias,
 // evaluated with the paper's Model 2. The run is deterministic in the
-// seed.
-func MonteCarloIDS(base fettoy.Device, spread Spread, bias fettoy.Bias, n int, seed int64) (Result, error) {
+// seed. Cancellation is honoured between samples: a canceled context
+// aborts the study with an error wrapping the context's cause.
+func MonteCarloIDS(ctx context.Context, base fettoy.Device, spread Spread, bias fettoy.Bias, n int, seed int64) (Result, error) {
 	if n < 1 {
 		return Result{}, fmt.Errorf("variation: need at least one sample")
 	}
@@ -86,7 +88,16 @@ func MonteCarloIDS(base fettoy.Device, spread Spread, bias fettoy.Bias, n int, s
 	}
 	rng := rand.New(rand.NewSource(seed))
 	samples := make([]float64, 0, n)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+			return Result{}, fmt.Errorf("variation: canceled at sample %d: %w", i, context.Cause(ctx))
+		default:
+		}
 		ef := base.EF + spread.EF*rng.NormFloat64()
 		dRel := spread.DiameterRel * rng.NormFloat64()
 

@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,11 +11,11 @@ import (
 var bias = fettoy.Bias{VG: 0.5, VD: 0.4}
 
 func TestMonteCarloDeterministic(t *testing.T) {
-	a, err := MonteCarloIDS(fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7)
+	a, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MonteCarloIDS(fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7)
+	b, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestMonteCarloDeterministic(t *testing.T) {
 			t.Fatalf("sample %d differs across runs with the same seed", i)
 		}
 	}
-	c, err := MonteCarloIDS(fettoy.Default(), Spread{EF: 0.02}, bias, 50, 8)
+	c, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{EF: 0.02}, bias, 50, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestMonteCarloDeterministic(t *testing.T) {
 }
 
 func TestMonteCarloZeroSpreadIsConstant(t *testing.T) {
-	r, err := MonteCarloIDS(fettoy.Default(), Spread{}, bias, 10, 1)
+	r, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{}, bias, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestMonteCarloZeroSpreadIsConstant(t *testing.T) {
 
 func TestMonteCarloSpreadMatchesSensitivity(t *testing.T) {
 	sigma := 0.01
-	r, err := MonteCarloIDS(fettoy.Default(), Spread{EF: sigma}, bias, 400, 3)
+	r, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{EF: sigma}, bias, 400, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestMonteCarloSpreadMatchesSensitivity(t *testing.T) {
 func TestMonteCarloDiameterSpread(t *testing.T) {
 	// Small run (per-sample refits are the cost); diameter dispersion
 	// must widen the distribution.
-	r, err := MonteCarloIDS(fettoy.Default(), Spread{DiameterRel: 0.05}, bias, 12, 5)
+	r, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{DiameterRel: 0.05}, bias, 12, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,15 +83,15 @@ func TestMonteCarloDiameterSpread(t *testing.T) {
 }
 
 func TestMonteCarloValidation(t *testing.T) {
-	if _, err := MonteCarloIDS(fettoy.Default(), Spread{}, bias, 0, 1); err == nil {
+	if _, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{}, bias, 0, 1); err == nil {
 		t.Fatal("zero samples accepted")
 	}
-	if _, err := MonteCarloIDS(fettoy.Default(), Spread{EF: -1}, bias, 5, 1); err == nil {
+	if _, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{EF: -1}, bias, 5, 1); err == nil {
 		t.Fatal("negative sigma accepted")
 	}
 	bad := fettoy.Default()
 	bad.Diameter = -1
-	if _, err := MonteCarloIDS(bad, Spread{}, bias, 5, 1); err == nil {
+	if _, err := MonteCarloIDS(context.Background(), bad, Spread{}, bias, 5, 1); err == nil {
 		t.Fatal("invalid base device accepted")
 	}
 	if _, err := Sensitivity(fettoy.Default(), bias, 0); err == nil {

@@ -1,6 +1,7 @@
 package cntfet
 
 import (
+	"context"
 	"io"
 
 	"cntfet/internal/circuit"
@@ -140,7 +141,7 @@ type (
 // MonteCarloIDS draws n device variants and returns the drain-current
 // distribution at the bias, evaluated with the fast Model 2.
 func MonteCarloIDS(dev Device, spread VariationSpread, bias Bias, n int, seed int64) (VariationResult, error) {
-	return variation.MonteCarloIDS(dev, spread, bias, n, seed)
+	return variation.MonteCarloIDS(context.Background(), dev, spread, bias, n, seed)
 }
 
 // EFSensitivity estimates d(IDS)/d(EF) via the refit-free Fermi-level
