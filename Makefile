@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchsmoke
+.PHONY: check lint vet build test race bench benchsmoke
 
-## check: the tier-1 gate — vet, build, race-enabled tests, and a
-## build-only smoke of the sweep benchmark (tiny grid, no timing
+## check: the tier-1 gate — vet + cntlint, build, race-enabled tests,
+## and a build-only smoke of the sweep benchmark (tiny grid, no timing
 ## assertion: timing under a loaded CI machine is noise).
-check: vet build race benchsmoke
+check: lint build race benchsmoke
+
+## lint: go vet plus the project analyzer suite (cmd/cntlint):
+## telemetry key registry, context propagation, float comparisons,
+## atomic field discipline, unit documentation. Suppress a finding
+## with //lint:allow <analyzer> <reason> on or above the line.
+lint: vet
+	$(GO) run ./cmd/cntlint ./...
 
 vet:
 	$(GO) vet ./...

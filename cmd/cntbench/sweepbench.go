@@ -55,14 +55,14 @@ type sweepBenchDoc struct {
 
 // sweepCounterKeys are the registry deltas quoted per path.
 var sweepCounterKeys = []string{
-	"fettoy.integral_evals",
-	"fettoy.quad_points",
-	"fettoy.newton_iters",
-	"fettoy.solves",
-	"fettoy.table.hits",
-	"fettoy.table.misses",
-	"sweep.points",
-	"sweep.errors",
+	telemetry.KeyFettoyIntegralEvals,
+	telemetry.KeyFettoyQuadPoints,
+	telemetry.KeyFettoyNewtonIters,
+	telemetry.KeyFettoySolves,
+	telemetry.KeyFettoyTableHits,
+	telemetry.KeyFettoyTableMisses,
+	telemetry.KeySweepPoints,
+	telemetry.KeySweepErrors,
 }
 
 func counterDelta(before, after map[string]int64) map[string]int64 {
@@ -181,8 +181,8 @@ func runSweepBench(points, repeats, workers int, outPath string, assertFaster bo
 	if doc.Batched.Seconds > 0 {
 		doc.Speedup = doc.Legacy.Seconds / doc.Batched.Seconds
 	}
-	legacyEvals := doc.Legacy.Counters["fettoy.integral_evals"]
-	batchedEvals := doc.Batched.Counters["fettoy.integral_evals"]
+	legacyEvals := doc.Legacy.Counters[telemetry.KeyFettoyIntegralEvals]
+	batchedEvals := doc.Batched.Counters[telemetry.KeyFettoyIntegralEvals]
 	if batchedEvals < 1 {
 		batchedEvals = 1
 	}
@@ -209,7 +209,7 @@ func runSweepBench(points, repeats, workers int, outPath string, assertFaster bo
 		fmt.Printf("  batched  %.4gs (%.3g points/s), table: %d nodes in %.4gs\n",
 			doc.Batched.Seconds, doc.Batched.PointsPerSec, doc.TableNodes, doc.TableBuildSeconds)
 		fmt.Printf("  speedup %.1fx, integral evals %d -> %d (%.0fx fewer), max RMS %.4g%%\n",
-			doc.Speedup, legacyEvals, doc.Batched.Counters["fettoy.integral_evals"],
+			doc.Speedup, legacyEvals, doc.Batched.Counters[telemetry.KeyFettoyIntegralEvals],
 			doc.IntegralEvalReduction, doc.MaxRMSPercent)
 	}
 	if assertFaster && doc.Speedup < 1 {

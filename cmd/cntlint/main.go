@@ -1,0 +1,96 @@
+// Command cntlint is the project's multichecker: it runs the
+// internal/analysis suite — telemetrykeys, ctxpropagate, floatcmp,
+// atomicfield, unitsdoc — over the given package patterns and prints
+// one line per finding. Exit status 2 means findings (the go vet
+// convention), 1 means the tool itself failed, 0 means clean.
+//
+// Usage:
+//
+//	cntlint [-run name,name] [packages ...]
+//
+// With no patterns it checks ./... . Findings can be suppressed per
+// line with //lint:allow <analyzer> (see internal/analysis); make lint
+// runs this binary over the whole module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cntfet/internal/analysis"
+	"cntfet/internal/analysis/atomicfield"
+	"cntfet/internal/analysis/ctxpropagate"
+	"cntfet/internal/analysis/floatcmp"
+	"cntfet/internal/analysis/telemetrykeys"
+	"cntfet/internal/analysis/unitsdoc"
+)
+
+// suite is the full analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	ctxpropagate.Analyzer,
+	floatcmp.Analyzer,
+	telemetrykeys.Analyzer,
+	unitsdoc.Analyzer,
+}
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cntlint [-run name,name] [packages ...]\n\nAnalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range suite {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+	diags, err := Lint(*run, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cntlint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cntlint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}
+
+// Lint loads the patterns (default ./...) and applies the selected
+// analyzers (empty: the whole suite). Shared with the smoke test,
+// which asserts the repo itself lints clean.
+func Lint(runNames string, patterns ...string) ([]analysis.Diagnostic, error) {
+	analyzers := suite
+	if runNames != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(runNames, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.NewLoader("").Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(analyzers, pkgs)
+}

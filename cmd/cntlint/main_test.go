@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRepoLintsClean asserts the module itself satisfies the whole
+// suite — the gate make lint enforces on every change.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	diags, err := Lint("", "cntfet/...")
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestUnknownAnalyzer keeps the -run flag's error path honest.
+func TestUnknownAnalyzer(t *testing.T) {
+	if _, err := Lint("nosuch"); err == nil {
+		t.Fatal("Lint(nosuch) succeeded, want error")
+	}
+}

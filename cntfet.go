@@ -160,32 +160,56 @@ func Quality(ref *Reference, m *Piecewise, opt FitOptions) FitQuality {
 	return core.Quality(ref, m, opt)
 }
 
-// Trace sweeps one IDS(VDS) curve at fixed VG.
+// Trace sweeps one IDS(VDS) curve at fixed gate voltage vg; vg and
+// the vds grid are in volts (V).
 func Trace(m Transistor, vg float64, vds []float64) (Curve, error) {
 	return sweep.Trace(m, vg, vds)
 }
 
-// Family sweeps one curve per gate voltage on a shared VDS grid.
+// FamilyContext sweeps one curve per gate voltage on a shared VDS
+// grid; both the vgs and vds grids are in volts (V). The context
+// cancels the sweep between points.
+func FamilyContext(ctx context.Context, m Transistor, vgs, vds []float64) ([]Curve, error) {
+	return sweep.Family(ctx, m, vgs, vds)
+}
+
+// Family is FamilyContext with a background context; the vgs and vds
+// grids are in volts (V). Kept as the convenience entry point for
+// non-cancellable callers.
 func Family(m Transistor, vgs, vds []float64) ([]Curve, error) {
-	return sweep.Family(context.Background(), m, vgs, vds)
+	return FamilyContext(context.Background(), m, vgs, vds) //lint:allow ctxpropagate documented non-cancellable convenience shim
 }
 
-// FamilyParallel is Family with worker goroutines and chunked row
-// scheduling — worthwhile for the reference model (~100 µs per point
-// on direct quadrature, ~1 µs tabulated); the piecewise models are
-// faster serially than the scheduling overhead (use FamilyBatch).
-// Workers thread warm-start continuation along each VDS row. workers
-// <= 0 uses GOMAXPROCS.
+// FamilyParallelContext is FamilyContext with worker goroutines and
+// chunked row scheduling — worthwhile for the reference model
+// (~100 µs per point on direct quadrature, ~1 µs tabulated); the
+// piecewise models are faster serially than the scheduling overhead
+// (use FamilyBatch). Workers thread warm-start continuation along
+// each VDS row. The vgs and vds grids are in volts (V); workers <= 0
+// uses GOMAXPROCS.
+func FamilyParallelContext(ctx context.Context, m Transistor, vgs, vds []float64, workers int) ([]Curve, error) {
+	return sweep.FamilyParallel(ctx, m, vgs, vds, workers)
+}
+
+// FamilyParallel is FamilyParallelContext with a background context;
+// the vgs and vds grids are in volts (V).
 func FamilyParallel(m Transistor, vgs, vds []float64, workers int) ([]Curve, error) {
-	return sweep.FamilyParallel(context.Background(), m, vgs, vds, workers)
+	return FamilyParallelContext(context.Background(), m, vgs, vds, workers) //lint:allow ctxpropagate documented non-cancellable convenience shim
 }
 
-// FamilyBatch is Family through the models' batched evaluation path:
-// each VDS row is one IDSBatch call, which amortises per-point call
-// overhead for the piecewise models and threads warm-start
-// continuation for the reference model.
+// FamilyBatchContext is FamilyContext through the models' batched
+// evaluation path: each VDS row is one IDSBatch call, which amortises
+// per-point call overhead for the piecewise models and threads
+// warm-start continuation for the reference model. The vgs and vds
+// grids are in volts (V).
+func FamilyBatchContext(ctx context.Context, m Transistor, vgs, vds []float64) ([]Curve, error) {
+	return sweep.FamilyBatch(ctx, m, vgs, vds)
+}
+
+// FamilyBatch is FamilyBatchContext with a background context; the
+// vgs and vds grids are in volts (V).
 func FamilyBatch(m Transistor, vgs, vds []float64) ([]Curve, error) {
-	return sweep.FamilyBatch(context.Background(), m, vgs, vds)
+	return FamilyBatchContext(context.Background(), m, vgs, vds) //lint:allow ctxpropagate documented non-cancellable convenience shim
 }
 
 // RMSPercent computes the paper's per-curve error metric

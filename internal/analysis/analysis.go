@@ -1,0 +1,226 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: named Analyzer passes that
+// inspect one type-checked package at a time and report position-tagged
+// diagnostics. It exists because this module vendors nothing — the
+// container has no x/tools — yet the invariants the engine grew in PRs
+// 1–3 (central telemetry keys, context propagation, NaN sentinels,
+// atomic publication) deserve build-breaking checks, not review notes.
+//
+// The shape mirrors go/analysis closely on purpose so the suite can be
+// ported to the real framework verbatim if the dependency ever becomes
+// available: an Analyzer has a Name, a Doc and a Run func over a *Pass;
+// cmd/cntlint is the multichecker; analysistest runs fixtures with
+// "// want" comments.
+//
+// Suppression: a diagnostic is dropped when the line it lands on, or
+// the line directly above, carries a comment of the form
+//
+//	//lint:allow <name>[,<name>...] [reason]
+//
+// naming the reporting analyzer. The escape hatch is deliberate and
+// greppable — every allowed site documents why the invariant does not
+// apply there.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// annotations. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description cntlint -help prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("cntfet/internal/sweep"; fixtures use
+	// their directory name).
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, comments included.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allow maps file:line to the analyzer names allowed there, built
+	// once from the //lint:allow comments of every file.
+	allow map[string]map[string]bool
+}
+
+// Pass carries one (analyzer, package) pairing, collecting diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Fset returns the position table of the package under analysis.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypesInfo returns the type-checker facts of the package.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos unless a //lint:allow annotation on
+// that line (or the line above) names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,\- ]+)`)
+
+// buildAllow scans every comment of every file once, recording which
+// analyzer names are allowed on which source lines.
+func (pkg *Package) buildAllow() {
+	pkg.allow = map[string]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				names := strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ',' || r == ' '
+				})
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				set := pkg.allow[key]
+				if set == nil {
+					set = map[string]bool{}
+					pkg.allow[key] = set
+				}
+				for _, n := range names {
+					set[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+}
+
+// allowed reports whether analyzer name is suppressed at position: an
+// annotation on the diagnostic's own line or on the line directly
+// above it.
+func (pkg *Package) allowed(name string, pos token.Position) bool {
+	if pkg.allow == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set := pkg.allow[fmt.Sprintf("%s:%d", pos.Filename, line)]; set[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by file position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.allow == nil {
+			pkg.buildAllow()
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// IsConstOfPackage reports whether expr (parens stripped) is a
+// reference to a named constant declared in the package with the given
+// import path — the telemetrykeys notion of "a key from the registry".
+func IsConstOfPackage(info *types.Info, expr ast.Expr, pkgPath string) bool {
+	expr = ast.Unparen(expr)
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id]
+	if !ok {
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	return c.Pkg().Path() == pkgPath
+}
+
+// CalleeFunc resolves the called function or method of a call
+// expression, or nil for indirect calls and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the named function (or method) from
+// the package with the given import path.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"cntfet/internal/analysis"
+)
+
+// funcReporter flags every function declaration — enough surface to
+// exercise loading, reporting and the //lint:allow placements.
+var funcReporter = &analysis.Analyzer{
+	Name: "funcreport",
+	Doc:  "reports every function declaration (test helper)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestAllowSuppression(t *testing.T) {
+	pkg, err := analysis.NewLoader("").LoadDir("testdata/src/b", "b")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{funcReporter}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"func reported", "func wrongName"}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostics = %q, want %q", got, want)
+		}
+	}
+}

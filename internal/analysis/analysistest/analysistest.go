@@ -1,0 +1,111 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against "// want" comments, mirroring the
+// x/tools package of the same name on the subset this module needs.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/ and are plain Go
+// files the go tool never builds (testdata is ignored), so they are
+// free to violate the invariants on purpose. A line expecting a
+// diagnostic carries a trailing comment:
+//
+//	telemetry.Default().Counter("oops").Inc() // want `telemetry key`
+//
+// where the backquoted text is a regular expression that must match a
+// diagnostic reported on that line. Lines without a want comment must
+// produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cntfet/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, failing t on any mismatch between reported and expected
+// diagnostics. It returns the diagnostics for optional further checks.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	loader := analysis.NewLoader("")
+	var all []analysis.Diagnostic
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", dir, err)
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, name, err)
+		}
+		check(t, pkg, diags)
+		all = append(all, diags...)
+	}
+	return all
+}
+
+// check compares diagnostics against the fixture's want comments.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], m[1])
+			}
+		}
+	}
+	matched := map[key][]bool{}
+	for k, ws := range wants {
+		matched[k] = make([]bool, len(ws))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ws, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", fmtPos(d.Pos), d.Message)
+			continue
+		}
+		found := false
+		for i, w := range ws {
+			if matched[k][i] {
+				continue
+			}
+			if regexp.MustCompile(w).MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("diagnostic at %s matches no want pattern: %s", fmtPos(d.Pos), d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for i, w := range ws {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+func fmtPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", strings.TrimPrefix(p.Filename, "./"), p.Line, p.Column)
+}

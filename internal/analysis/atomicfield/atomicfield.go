@@ -1,0 +1,182 @@
+// Package atomicfield guards the atomic-publish patterns the batched
+// engine relies on (the ChargeTable's atomic.Pointer publication, the
+// model's local work counters): a struct field that participates in
+// sync/atomic anywhere must be accessed atomically everywhere. Two
+// complementary rules:
+//
+//  1. Legacy function-style atomics: a field whose address is passed
+//     to atomic.AddInt64/LoadUint32/... is atomic-only; any plain
+//     read, write or increment of the same field elsewhere in the
+//     package is a race waiting for the right interleaving.
+//
+//  2. Typed atomics: a field of type atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], ... must only be touched through its
+//     methods or its address. Copying or reassigning the value
+//     (s.done = atomic.Bool{}, x := s.done) smuggles a non-atomic
+//     store or load past the type's API and invalidates pending
+//     publications.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cntfet/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be " +
+		"accessed atomically everywhere (no mixed plain access, no " +
+		"copying typed atomic values)",
+	Run: run,
+}
+
+const atomicPath = "sync/atomic"
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass A: collect fields used with function-style atomics, and
+	// remember the &x.f argument nodes so they are not re-flagged.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[ast.Expr]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != atomicPath || fn.Signature().Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(info, un.X); fv != nil {
+					atomicFields[fv] = true
+					sanctioned[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldVar(info, sel)
+			if fv == nil {
+				return true
+			}
+			// Rule 1: plain access to a function-atomic field.
+			if atomicFields[fv] && !sanctioned[ast.Expr(sel)] {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this "+
+						"package; this plain access races with it", fv.Name())
+				return true
+			}
+			// Rule 2: value use of a typed atomic field.
+			if isTypedAtomic(fv.Type()) && !methodOrAddress(parents, sel) {
+				pass.Reportf(sel.Pos(),
+					"field %s has atomic type %s: do not copy or reassign it, "+
+						"use its methods", fv.Name(), typeName(fv.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves expr to the struct field it selects, or nil.
+func fieldVar(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isTypedAtomic reports whether t is a named type from sync/atomic
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == atomicPath
+}
+
+func typeName(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// methodOrAddress reports whether sel (a typed-atomic field selector)
+// appears in a sanctioned position: as the receiver of a method call
+// (s.done.Store(true)), under an address operator (&s.done), or merely
+// as the spine of a deeper selection.
+func methodOrAddress(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	parent := parents[sel]
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.done.Store: sel is p.X, and p names a method of the atomic
+		// type; any deeper field selection through an atomic value is
+		// impossible (atomic types export no fields).
+		return p.X == sel || parentIsSelectorSpine(parents, sel)
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// parentIsSelectorSpine covers nested selections like a.b.c where the
+// atomic field is an intermediate hop — not expressible for sync/atomic
+// types (no exported fields), but kept for completeness.
+func parentIsSelectorSpine(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p, ok := parents[sel].(*ast.SelectorExpr)
+	return ok && p.X == sel
+}

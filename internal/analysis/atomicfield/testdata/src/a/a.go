@@ -1,0 +1,24 @@
+// Package a exercises the mixed-atomic-access rules.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+	done  atomic.Bool
+}
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+	c.done.Store(true)
+	c.total++ // plain-only field: never touched by sync/atomic
+}
+
+func (c *counters) read() (int64, bool) {
+	plain := c.hits // want `plain access races`
+	cp := c.done    // want `do not copy`
+	_ = cp
+	p := &c.done
+	return plain + c.total, p.Load()
+}

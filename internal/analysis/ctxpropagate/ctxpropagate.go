@@ -1,0 +1,118 @@
+// Package ctxpropagate guards the end-to-end context discipline PR 3
+// introduced with engine.Run: cancellation must thread from the
+// request surface down to the quadrature loops, never being silently
+// re-rooted along the way. Two rules:
+//
+//  1. context.Background() and context.TODO() are banned in library
+//     (non-main, non-test) code. Commands own their root context;
+//     libraries receive one. Documented compatibility shims — the
+//     netlist Deck.Run wrapper, the root package's context-free
+//     convenience API, the charge table's context-free lookup path —
+//     carry an explicit //lint:allow ctxpropagate annotation, which
+//     keeps every re-rooting site enumerable by grep.
+//
+//  2. A function that declares a context.Context parameter must use
+//     it. An ignored ctx parameter is the classic shape of a lost
+//     cancellation: the signature promises propagation the body does
+//     not deliver (name the parameter _ to opt out explicitly).
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cntfet/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc: "library code must thread the caller's context: no " +
+		"context.Background/TODO outside package main, no ignored " +
+		"context.Context parameters",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		// Rule 1: re-rooting calls in library packages.
+		if pkg.Name != "main" {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.CalleeFunc(info, call)
+				if analysis.IsPkgFunc(fn, "context", "Background") || analysis.IsPkgFunc(fn, "context", "TODO") {
+					pass.Reportf(call.Pos(),
+						"context.%s in library code: thread the caller's context instead "+
+							"(annotate //lint:allow ctxpropagate on documented compatibility shims)",
+						fn.Name())
+				}
+				return true
+			})
+		}
+
+		// Rule 2: declared-but-unused context parameters.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fd := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fd.Type, fd.Body
+			case *ast.FuncLit:
+				ftype, body = fd.Type, fd.Body
+			default:
+				return true
+			}
+			if body == nil || ftype.Params == nil {
+				return true
+			}
+			for _, field := range ftype.Params.List {
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := info.Defs[name]
+					if obj == nil || !isContextType(obj.Type()) {
+						continue
+					}
+					if !usesObject(info, body, obj) {
+						pass.Reportf(name.Pos(),
+							"context parameter %s is never used: propagate it to "+
+								"context-aware callees or name it _", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesObject reports whether any identifier inside body resolves to obj.
+func usesObject(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/ctxpropagate"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpropagate.Analyzer, "a")
+}

@@ -1,0 +1,35 @@
+// Package a exercises the context propagation rules: no root contexts
+// in library code, and declared context parameters must be used.
+package a
+
+import "context"
+
+func uses(ctx context.Context) error {
+	return work(ctx)
+}
+
+func ignores(ctx context.Context) int { // want `context parameter ctx is never used`
+	return 0
+}
+
+// optedOut declares it deliberately ignores cancellation by naming the
+// parameter _.
+func optedOut(_ context.Context) {}
+
+func roots() {
+	_ = context.Background() // want `context.Background in library code`
+	_ = context.TODO()       // want `context.TODO in library code`
+}
+
+func shim() error {
+	return work(context.Background()) //lint:allow ctxpropagate documented compatibility shim
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func literals() {
+	f := func(ctx context.Context) error { // want `context parameter ctx is never used`
+		return nil
+	}
+	_ = f
+}

@@ -1,0 +1,62 @@
+// Package floatcmp flags == and != between floating-point operands.
+// The warm-start continuation of PR 2 threads a NaN sentinel through
+// IDSFrom/SolveVSCFrom — and NaN compares unequal to everything,
+// including itself, so an equality test against the sentinel is a
+// silent always-false bug; math.IsNaN is the only correct probe.
+// Beyond the sentinel, exact float equality is occasionally legitimate
+// (zero-value option defaults, division guards against the exact
+// datum, closed-form discriminant branches) but each such site should
+// say so: rewrite with math.IsNaN or an epsilon, or annotate the line
+// with //lint:allow floatcmp and a reason.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cntfet/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "== and != on floating-point operands: use math.IsNaN for NaN " +
+		"sentinels, an epsilon for value comparison, or annotate " +
+		"//lint:allow floatcmp for documented exact-equality idioms",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.Types[be.X], info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant fold: decided at compile time
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison: use math.IsNaN for the NaN "+
+					"sentinel, compare within an epsilon, or annotate "+
+					"//lint:allow floatcmp with the reason exact equality is intended",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

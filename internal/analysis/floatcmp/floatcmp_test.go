@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcmp.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+// Package a exercises the floating-point comparison rule.
+package a
+
+import "math"
+
+type opts struct{ Tol float64 }
+
+func cmp(a, b float64, xs []float64) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != 0 { // want `floating-point != comparison`
+		return false
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return len(xs) == 0
+}
+
+func defaults(o opts) opts {
+	if o.Tol == 0 { //lint:allow floatcmp zero value selects the default
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+func folded() bool {
+	const half = 0.5
+	return half == 0.25 // both operands constant: decided at compile time
+}

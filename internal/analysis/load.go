@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader resolves packages with the go command and type-checks
+// them with the standard library alone: sources are parsed with
+// go/parser, imports are satisfied from compiler export data located
+// via "go list -export" (compiled on demand into the build cache).
+// This trades the x/tools go/packages dependency — unavailable here —
+// for two well-understood subprocess calls.
+
+// Loader loads and type-checks packages for analysis. It caches export
+// data lookups, so one Loader should be reused across packages (and is
+// safe for sequential use only).
+type Loader struct {
+	// Dir is the directory go commands run in; it must sit inside the
+	// module. Empty means the current directory.
+	Dir string
+
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at dir (empty: current directory).
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// listedPackage is the subset of go list -json output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+}
+
+// golist runs "go list" with the given arguments and decodes the JSON
+// package stream.
+func (l *Loader) golist(args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookup feeds the gc importer: it maps an import path to a reader of
+// that package's export data, asking the go command (once per path) to
+// produce the file when the map has no answer yet.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+		cmd.Dir = l.Dir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		l.mu.Lock()
+		l.exports[path] = file
+		l.mu.Unlock()
+	}
+	if file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// prewarm bulk-resolves export data for the patterns' full dependency
+// cone in one go command, so per-import lookups become map hits.
+func (l *Loader) prewarm(patterns []string) {
+	pkgs, err := l.golist(append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return // best effort; lookup falls back to per-path resolution
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// Load resolves the patterns ("./...", import paths) to packages and
+// type-checks each from source. Test files are excluded by
+// construction (go list GoFiles): the conventions the analyzers encode
+// bind library and command code, while tests legitimately compare
+// exact floats, use context.Background and mint ad-hoc telemetry keys.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.golist(append([]string{"-json=Dir,ImportPath,Name,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l.prewarm(patterns)
+	var out []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := l.check(lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir loads every non-test .go file of one directory as a single
+// package with the given import path — the analysistest entry point
+// for fixtures, which live under testdata where the go tool does not
+// look.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.check(path, files)
+}
+
+// check parses and type-checks one package's files.
+func (l *Loader) check(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	pkg.buildAllow()
+	return pkg, nil
+}

@@ -1,0 +1,106 @@
+// Package telemetrykeys rejects raw string literals as telemetry
+// instrument names or trace event kinds: every name passed to
+// Registry.Counter/Timer/Histogram or Trace.Emit must be a constant
+// declared in internal/telemetry (keys.go). PR 1 scattered dotted keys
+// as literals across six layers; the "fettoy.solve" trace kind next to
+// the "fettoy.solves" counter shows how close typo and plural drift
+// then sits to silently splitting a metric. With the registry central
+// and literals banned, drift is a compile^W lint failure.
+//
+// Dynamic per-worker keys remain expressible as
+// fmt.Sprintf(telemetry.KeySweepWorkerPointsFmt, w): Sprintf is
+// accepted exactly when its format argument is itself a registry
+// constant.
+package telemetrykeys
+
+import (
+	"fmt"
+	"go/ast"
+
+	"cntfet/internal/analysis"
+)
+
+// TelemetryPath is the package whose constants are the key registry.
+const TelemetryPath = "cntfet/internal/telemetry"
+
+// methods whose first string argument names an instrument or kind.
+var keyMethods = map[string]bool{
+	"Counter":   true,
+	"Timer":     true,
+	"Histogram": true,
+	"Emit":      true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetrykeys",
+	Doc: "telemetry instrument names and trace kinds must be constants " +
+		"declared in internal/telemetry/keys.go, not string literals",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	if pkg.Path == TelemetryPath {
+		// The registry package itself only declares the keys; its tests
+		// (excluded from analysis anyway) mint ad-hoc names on purpose.
+		return nil
+	}
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != TelemetryPath || !keyMethods[fn.Name()] {
+				return true
+			}
+			if sig := fn.Signature(); sig.Recv() == nil {
+				return true // only the Registry/Trace methods carry keys
+			}
+			arg := call.Args[0]
+			if !isRegistryKey(pass, arg) {
+				pass.Reportf(arg.Pos(),
+					"telemetry %s name %s must be a constant from %s (keys.go), not %s",
+					fn.Name(), exprString(arg), TelemetryPath, describe(pass, arg))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryKey accepts a reference to a telemetry-package constant, or
+// fmt.Sprintf of such a constant (the per-worker attribution pattern).
+func isRegistryKey(pass *analysis.Pass, expr ast.Expr) bool {
+	info := pass.Pkg.Info
+	expr = ast.Unparen(expr)
+	if analysis.IsConstOfPackage(info, expr, TelemetryPath) {
+		return true
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if fn := analysis.CalleeFunc(info, call); analysis.IsPkgFunc(fn, "fmt", "Sprintf") {
+		return analysis.IsConstOfPackage(info, call.Args[0], TelemetryPath)
+	}
+	return false
+}
+
+func describe(pass *analysis.Pass, expr ast.Expr) string {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if ok && tv.Value != nil {
+		return fmt.Sprintf("the literal %s", tv.Value)
+	}
+	return "a computed value"
+}
+
+func exprString(expr ast.Expr) string {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		return fmt.Sprintf("%q", id.Name)
+	}
+	return "argument"
+}

@@ -1,0 +1,12 @@
+package telemetrykeys_test
+
+import (
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/telemetrykeys"
+)
+
+func TestTelemetryKeys(t *testing.T) {
+	analysistest.Run(t, "testdata", telemetrykeys.Analyzer, "a")
+}

@@ -1,0 +1,30 @@
+// Package a exercises the telemetry key discipline: instrument and
+// trace names must come from the central keys.go registry.
+package a
+
+import (
+	"fmt"
+
+	"cntfet/internal/telemetry"
+)
+
+// localKey is a constant, but of the wrong package: only constants
+// declared in internal/telemetry count as registered keys.
+const localKey = "a.local"
+
+func bad(reg *telemetry.Registry, tr *telemetry.Trace, worker int) {
+	reg.Counter("a.solves").Inc()                         // want `must be a constant`
+	reg.Timer("a.time")                                   // want `must be a constant`
+	reg.Histogram("a.hist", nil)                          // want `must be a constant`
+	tr.Emit("a.event", 0)                                 // want `must be a constant`
+	reg.Counter(localKey).Inc()                           // want `must be a constant`
+	reg.Counter(fmt.Sprintf("a.worker.%d", worker)).Inc() // want `must be a constant`
+}
+
+func good(reg *telemetry.Registry, tr *telemetry.Trace, worker int) {
+	reg.Counter(telemetry.KeySweepPoints).Inc()
+	reg.Timer(telemetry.KeyFettoySolveTime)
+	reg.Histogram(telemetry.KeyFettoySolveIters, nil)
+	tr.Emit(telemetry.KindFettoySolve, 0)
+	reg.Counter(fmt.Sprintf(telemetry.KeySweepWorkerPointsFmt, worker)).Inc()
+}

@@ -1,0 +1,13 @@
+// Package b is the framework's own fixture: functions suppressed via
+// each //lint:allow placement, and one left reported.
+package b
+
+func reported() {}
+
+//lint:allow funcreport suppressed by the line above
+func lineAbove() {}
+
+func sameLine() {} //lint:allow funcreport suppressed on the same line
+
+//lint:allow othercheck a different analyzer's allowance does not apply
+func wrongName() {}

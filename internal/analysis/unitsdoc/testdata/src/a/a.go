@@ -1,0 +1,26 @@
+// Package a exercises the unit-documentation rule for exported
+// physics entry points.
+package a
+
+// Documented mixes scales and says so: vg is the gate voltage in
+// volts (V), ef the Fermi level in electronvolts (eV), and temp the
+// lattice temperature in kelvin (K).
+func Documented(vg, ef, temp float64) float64 { return vg + ef + temp }
+
+// Undocumented names physical parameters without stating their units.
+func Undocumented(
+	vg float64, // want `voltage parameter "vg"`
+	temp float64, // want `temperature parameter "temp"`
+) float64 {
+	return vg + temp
+}
+
+// unexported functions are internal plumbing and out of scope.
+func unexported(vds float64) float64 { return vds }
+
+// Grids documents a []float64 sweep axis: the vds grid is in
+// volts (V).
+func Grids(vds []float64, n int) int { return len(vds) + n }
+
+// Unclassified parameter names (t, x, step) are out of scope.
+func Unclassified(t, x float64) float64 { return t * x }

@@ -1,0 +1,127 @@
+// Package unitsdoc keeps the paper's eq. (7) quantities unambiguous at
+// the API boundary: exported functions of the device-physics packages
+// (the root cntfet package, internal/fettoy, internal/core) that take
+// float64 voltage, energy or temperature parameters must state the
+// unit — V, eV, K — in their doc comment. The self-consistent voltage
+// equation mixes all three scales (terminal voltages in volts, Fermi
+// levels and subband minima in electronvolts, temperature in kelvin);
+// a caller guessing wrong is off by q/kT, the least debuggable class
+// of physics bug.
+package unitsdoc
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cntfet/internal/analysis"
+)
+
+// TargetPackages lists the import paths the check applies to. Tests
+// may add fixture paths.
+var TargetPackages = map[string]bool{
+	"cntfet":                 true,
+	"cntfet/internal/fettoy": true,
+	"cntfet/internal/core":   true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsdoc",
+	Doc: "exported functions of the physics packages taking float64 " +
+		"voltage/energy/temperature parameters must state units " +
+		"(V, eV, K) in their doc comment",
+	Run: run,
+}
+
+// quantity is one recognised physical-parameter class.
+type quantity struct {
+	unit string
+	// mention matches a doc comment that states the unit.
+	mention *regexp.Regexp
+}
+
+var (
+	voltage     = &quantity{"V", regexp.MustCompile(`\bV\b|[vV]olts?\b`)}
+	energy      = &quantity{"eV", regexp.MustCompile(`\beV\b|electron-?volts?\b`)}
+	temperature = &quantity{"K", regexp.MustCompile(`\bK\b|[kK]elvin\b`)}
+)
+
+// paramClass maps lower-cased parameter names to the quantity they
+// denote in this codebase's vocabulary. Ambiguous names (t: time or
+// temperature; step) are deliberately absent — the check trades recall
+// for zero false positives.
+var paramClass = map[string]*quantity{
+	// Terminal and internal voltages.
+	"v": voltage, "vg": voltage, "vd": voltage, "vs": voltage,
+	"vds": voltage, "vgs": voltage, "vsc": voltage, "vdd": voltage,
+	"vin": voltage, "vout": voltage, "voltage": voltage,
+	// Energies on the eV axis (Fermi levels, subband minima, the u
+	// axis of the state-density integral).
+	"u": energy, "e": energy, "ef": energy, "def": energy,
+	"eps": energy, "emin": energy, "energy": energy,
+	// Temperatures.
+	"temp": temperature, "temperature": temperature, "kelvin": temperature,
+}
+
+func run(pass *analysis.Pass) error {
+	if !TargetPackages[pass.Pkg.Path] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			doc := ""
+			if fd.Doc != nil {
+				doc = fd.Doc.Text()
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isFloat64ish(info, field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					q, ok := paramClass[strings.ToLower(name.Name)]
+					if !ok {
+						continue
+					}
+					if !q.mention.MatchString(doc) {
+						pass.Reportf(name.Pos(),
+							"exported %s takes %s parameter %q but its doc comment "+
+								"does not state the unit (%s)",
+							fd.Name.Name, quantityName(q), name.Name, q.unit)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isFloat64ish accepts float64 parameters and []float64 grids.
+func isFloat64ish(info *types.Info, expr ast.Expr) bool {
+	t := info.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		t = s.Elem()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func quantityName(q *quantity) string {
+	switch q {
+	case voltage:
+		return "voltage"
+	case energy:
+		return "energy"
+	default:
+		return "temperature"
+	}
+}

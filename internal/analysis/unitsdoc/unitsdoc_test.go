@@ -1,0 +1,14 @@
+package unitsdoc_test
+
+import (
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/unitsdoc"
+)
+
+func TestUnitsDoc(t *testing.T) {
+	unitsdoc.TargetPackages["a"] = true
+	defer delete(unitsdoc.TargetPackages, "a")
+	analysistest.Run(t, "testdata", unitsdoc.Analyzer, "a")
+}

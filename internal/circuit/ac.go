@@ -129,11 +129,11 @@ func (i *ISource) StampAC(s *ACStamper) {
 // at the operating point.
 func (d *Diode) StampAC(s *ACStamper) {
 	n := d.N
-	if n == 0 {
+	if n == 0 { //lint:allow floatcmp zero N selects the default
 		n = 1
 	}
 	temp := d.Temp
-	if temp == 0 {
+	if temp == 0 { //lint:allow floatcmp zero Temp selects the default
 		temp = 300
 	}
 	vt := n * 8.617333262e-5 * temp
@@ -266,7 +266,7 @@ func (c *Circuit) AC(source string, freqs []float64, opt DCOptions) ([]ACPoint, 
 			return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
 		}
 		if c.trace.Enabled() {
-			c.trace.Emit("circuit.ac.point", f)
+			c.trace.Emit(telemetry.KindCircuitACPoint, f)
 		}
 		out = append(out, ACPoint{Freq: f, ix: ix, x: x})
 	}

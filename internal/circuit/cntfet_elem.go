@@ -117,7 +117,7 @@ func (m *CNTFET) conductances(vd, vg, vs float64) (id, gm, gds float64, err erro
 		return id, gm, gds, nil
 	}
 	h := m.delta
-	if h == 0 {
+	if h == 0 { //lint:allow floatcmp zero delta selects the default FD step
 		h = 1e-5
 	}
 	id, err = m.ids(vd, vg, vs)

@@ -31,10 +31,10 @@ func (o *DCOptions) fill() {
 	if o.MaxIter == 0 {
 		o.MaxIter = 100
 	}
-	if o.VTol == 0 {
+	if o.VTol == 0 { //lint:allow floatcmp zero VTol selects the default
 		o.VTol = 1e-9
 	}
-	if o.MaxStep == 0 {
+	if o.MaxStep == 0 { //lint:allow floatcmp zero MaxStep selects the default
 		o.MaxStep = 0.5
 	}
 	if o.GminSteps == 0 {
@@ -116,7 +116,7 @@ func (c *Circuit) newton(st *Stamper, x []float64, gmin float64, opt DCOptions) 
 				metrics.newtonIterHist.Observe(float64(iter + 1))
 			}
 			if c.trace.Enabled() {
-				c.trace.Emit("circuit.dc.solve", st.Time,
+				c.trace.Emit(telemetry.KindCircuitDCSolve, st.Time,
 					"iters", iter+1, "gmin", gmin, "worst_dv", worst)
 			}
 			return nil
@@ -134,7 +134,7 @@ func (c *Circuit) newton(st *Stamper, x []float64, gmin float64, opt DCOptions) 
 		Time:       st.Time,
 	}
 	if c.trace.Enabled() {
-		c.trace.Emit("circuit.converge_fail", st.Time,
+		c.trace.Emit(telemetry.KindCircuitConvergenceFailure, st.Time,
 			"iters", cerr.Iterations, "worst_dv", worst, "gmin", gmin)
 	}
 	return cerr
@@ -159,7 +159,7 @@ func (c *Circuit) DCSweep(source string, from, to, step float64, opt DCOptions) 
 	if !ok {
 		return nil, fmt.Errorf("circuit: sweep element %q is not a voltage source", source)
 	}
-	if step == 0 || (to-from)*step < 0 {
+	if step == 0 || (to-from)*step < 0 { //lint:allow floatcmp a zero step can never reach the sweep end
 		return nil, fmt.Errorf("circuit: bad sweep step %g for range [%g,%g]", step, from, to)
 	}
 	saved := vs.Wave
@@ -182,7 +182,7 @@ func (c *Circuit) DCSweep(source string, from, to, step float64, opt DCOptions) 
 			copy(x, sol.x)
 		}
 		if c.trace.Enabled() {
-			c.trace.Emit("circuit.dc.sweep_point", v)
+			c.trace.Emit(telemetry.KindCircuitDCSweepPoint, v)
 		}
 		out = append(out, SweepPoint{Value: v, Solution: (&Solution{ix: ix, x: x}).Clone()})
 	}

@@ -190,11 +190,11 @@ func (d *Diode) Nodes() []string { return []string{d.A, d.B} }
 // Stamp implements Element.
 func (d *Diode) Stamp(s *Stamper) {
 	n := d.N
-	if n == 0 {
+	if n == 0 { //lint:allow floatcmp zero N selects the default
 		n = 1
 	}
 	temp := d.Temp
-	if temp == 0 {
+	if temp == 0 { //lint:allow floatcmp zero Temp selects the default
 		temp = 300
 	}
 	vt := n * 8.617333262e-5 * temp

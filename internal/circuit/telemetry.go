@@ -23,16 +23,16 @@ var metrics = struct {
 	acSolves        *telemetry.Counter
 	newtonIterHist  *telemetry.Histogram
 }{
-	dcSolves:        telemetry.Default().Counter("circuit.dc.solves"),
-	dcNewtonIters:   telemetry.Default().Counter("circuit.dc.newton_iters"),
-	dcGminSteps:     telemetry.Default().Counter("circuit.dc.gmin_steps"),
-	luSolves:        telemetry.Default().Counter("circuit.lu_solves"),
-	convergeFail:    telemetry.Default().Counter("circuit.convergence_failures"),
-	tranSteps:       telemetry.Default().Counter("circuit.tran.steps"),
-	tranNewtonIters: telemetry.Default().Counter("circuit.tran.newton_iters"),
-	tranRetries:     telemetry.Default().Counter("circuit.tran.retries"),
-	acSolves:        telemetry.Default().Counter("circuit.ac.solves"),
-	newtonIterHist:  telemetry.Default().Histogram("circuit.newton_iters_per_solve", []float64{2, 4, 8, 16, 32, 64}),
+	dcSolves:        telemetry.Default().Counter(telemetry.KeyCircuitDCSolves),
+	dcNewtonIters:   telemetry.Default().Counter(telemetry.KeyCircuitDCNewtonIters),
+	dcGminSteps:     telemetry.Default().Counter(telemetry.KeyCircuitDCGminSteps),
+	luSolves:        telemetry.Default().Counter(telemetry.KeyCircuitLUSolves),
+	convergeFail:    telemetry.Default().Counter(telemetry.KeyCircuitConvergenceFailures),
+	tranSteps:       telemetry.Default().Counter(telemetry.KeyCircuitTranSteps),
+	tranNewtonIters: telemetry.Default().Counter(telemetry.KeyCircuitTranNewtonIters),
+	tranRetries:     telemetry.Default().Counter(telemetry.KeyCircuitTranRetries),
+	acSolves:        telemetry.Default().Counter(telemetry.KeyCircuitACSolves),
+	newtonIterHist:  telemetry.Default().Histogram(telemetry.KeyCircuitNewtonItersPerSolve, []float64{2, 4, 8, 16, 32, 64}),
 }
 
 // ConvergenceError carries the diagnostic state of a failed Newton
@@ -63,7 +63,7 @@ func (e *ConvergenceError) Error() string {
 	if e.Gmin > 0 {
 		msg += fmt.Sprintf(" [gmin=%g]", e.Gmin)
 	}
-	if e.Time != 0 {
+	if e.Time != 0 { //lint:allow floatcmp zero Time means DC, no timepoint to print
 		msg += fmt.Sprintf(" [t=%g]", e.Time)
 	}
 	return msg

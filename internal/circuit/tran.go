@@ -56,7 +56,7 @@ func (c *Circuit) Transient(opt TranOptions) ([]*Solution, error) {
 			metrics.tranSteps.Inc()
 		}
 		if c.trace.Enabled() {
-			c.trace.Emit("circuit.tran.step", t, "iters", iters, "dt", opt.Step)
+			c.trace.Emit(telemetry.KindCircuitTranStep, t, "iters", iters, "dt", opt.Step)
 		}
 		now := &Solution{ix: ix, x: append([]float64(nil), x...), Time: t}
 		// Roll trapezoidal capacitor state.
@@ -130,7 +130,7 @@ func (c *Circuit) newtonTran(st *Stamper, x []float64, opt DCOptions) (int, erro
 		Time:       time,
 	}
 	if c.trace.Enabled() {
-		c.trace.Emit("circuit.converge_fail", time,
+		c.trace.Emit(telemetry.KindCircuitConvergenceFailure, time,
 			"iters", cerr.Iterations, "worst_dv", worst, "dt", dt)
 	}
 	return opt.MaxIter, cerr
@@ -189,7 +189,7 @@ func (c *Circuit) TransientAdaptive(opt TranAdaptiveOptions) ([]*Solution, error
 		// The error estimator advances by half steps; once h/2
 		// underflows the time axis the remaining interval is below
 		// float resolution and the run is complete.
-		if h <= 0 || prev.Time+h/2 == prev.Time {
+		if h <= 0 || prev.Time+h/2 == prev.Time { //lint:allow floatcmp detects exact h/2 underflow against the time axis
 			break
 		}
 		full, err := c.stepBE(prev, h, opt.DC)
@@ -217,7 +217,7 @@ func (c *Circuit) TransientAdaptive(opt TranAdaptiveOptions) ([]*Solution, error
 				metrics.tranRetries.Inc()
 			}
 			if c.trace.Enabled() {
-				c.trace.Emit("circuit.tran.retry", prev.Time, "lte", lte, "dt", h)
+				c.trace.Emit(telemetry.KindCircuitTranRetry, prev.Time, "lte", lte, "dt", h)
 			}
 			h = math.Max(h/2, opt.MinStep)
 			continue // retry the step
@@ -227,7 +227,7 @@ func (c *Circuit) TransientAdaptive(opt TranAdaptiveOptions) ([]*Solution, error
 			metrics.tranSteps.Inc()
 		}
 		if c.trace.Enabled() {
-			c.trace.Emit("circuit.tran.step", half.Time, "lte", lte, "dt", h)
+			c.trace.Emit(telemetry.KindCircuitTranStep, half.Time, "lte", lte, "dt", h)
 		}
 		out = append(out, half)
 		prev = half

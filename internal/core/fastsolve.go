@@ -28,15 +28,15 @@ var metrics = struct {
 	dispatch        [dispatchCount]*telemetry.Counter
 	fallbackGeneric *telemetry.Counter
 }{
-	solves: telemetry.Default().Counter("core.solves"),
+	solves: telemetry.Default().Counter(telemetry.KeyCoreSolves),
 	dispatch: [dispatchCount]*telemetry.Counter{
-		telemetry.Default().Counter("core.dispatch.none"),
-		telemetry.Default().Counter("core.dispatch.linear"),
-		telemetry.Default().Counter("core.dispatch.quadratic"),
-		telemetry.Default().Counter("core.dispatch.cardano"),
-		telemetry.Default().Counter("core.dispatch.trig"),
+		telemetry.Default().Counter(telemetry.KeyCoreDispatchNone),
+		telemetry.Default().Counter(telemetry.KeyCoreDispatchLinear),
+		telemetry.Default().Counter(telemetry.KeyCoreDispatchQuadratic),
+		telemetry.Default().Counter(telemetry.KeyCoreDispatchCardano),
+		telemetry.Default().Counter(telemetry.KeyCoreDispatchTrig),
 	},
-	fallbackGeneric: telemetry.Default().Counter("core.fallback_generic"),
+	fallbackGeneric: telemetry.Default().Counter(telemetry.KeyCoreFallbackGeneric),
 }
 
 // The hot path of the paper: solving the self-consistent voltage
@@ -196,7 +196,7 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, int, bool) {
 	try := func(r float64) (float64, bool) {
 		if (math.IsInf(lo, -1) || r >= lo-tol) && (math.IsInf(hi, 1) || r <= hi+tol) {
 			// One Newton polish step tightens the closed-form root.
-			if d := c.deriv(r); d != 0 {
+			if d := c.deriv(r); d != 0 { //lint:allow floatcmp exact-zero derivative guard before dividing
 				step := c.at(r) / d
 				if math.Abs(step) < 1e-3*(1+math.Abs(r)) {
 					r -= step
@@ -208,7 +208,7 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, int, bool) {
 	}
 
 	switch {
-	case c[3] != 0:
+	case c[3] != 0: //lint:allow floatcmp exact degree dispatch on the stored coefficient
 		// Depressed cubic via Cardano / trigonometric form.
 		a, b, d := c[2]/c[3], c[1]/c[3], c[0]/c[3]
 		p := b - a*a/3
@@ -221,7 +221,7 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, int, bool) {
 			v, ok := try(r)
 			return v, dispatchCardano, ok
 		}
-		if p == 0 {
+		if p == 0 { //lint:allow floatcmp exact depressed-cubic degenerate branch
 			v, ok := try(shift)
 			return v, dispatchCardano, ok
 		}
@@ -240,7 +240,7 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, int, bool) {
 			}
 		}
 		return 0, dispatchNone, false
-	case c[2] != 0:
+	case c[2] != 0: //lint:allow floatcmp exact degree dispatch on the stored coefficient
 		disc := c[1]*c[1] - 4*c[2]*c[0]
 		if disc < 0 {
 			return 0, dispatchNone, false
@@ -255,12 +255,12 @@ func solveMonotoneCubic(c cubic, lo, hi float64) (float64, int, bool) {
 		if v, ok := try(qq / c[2]); ok {
 			return v, dispatchQuadratic, true
 		}
-		if qq != 0 {
+		if qq != 0 { //lint:allow floatcmp exact-zero divisor guard
 			v, ok := try(c[0] / qq)
 			return v, dispatchQuadratic, ok
 		}
 		return 0, dispatchNone, false
-	case c[1] != 0:
+	case c[1] != 0: //lint:allow floatcmp exact degree dispatch on the stored coefficient
 		v, ok := try(-c[0] / c[1])
 		return v, dispatchLinear, ok
 	default:

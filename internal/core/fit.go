@@ -49,7 +49,7 @@ type FitOptions struct {
 }
 
 func (o *FitOptions) fill(dev fettoy.Device, spec Spec) {
-	if o.VGMax == 0 {
+	if o.VGMax == 0 { //lint:allow floatcmp zero VGMax selects the default
 		o.VGMax = 0.6
 	}
 	if o.URange == [2]float64{} {
@@ -58,7 +58,7 @@ func (o *FitOptions) fill(dev fettoy.Device, spec Spec) {
 	if o.Samples == 0 {
 		o.Samples = 240
 	}
-	if o.WeightFloor == 0 {
+	if o.WeightFloor == 0 { //lint:allow floatcmp zero WeightFloor selects the default
 		o.WeightFloor = 0.05
 	}
 }
@@ -75,7 +75,7 @@ func (o FitOptions) sampleWeights(ys []float64) []float64 {
 			ymax = a
 		}
 	}
-	if ymax == 0 {
+	if ymax == 0 { //lint:allow floatcmp exact-zero normalisation guard
 		return nil
 	}
 	w := make([]float64, len(ys))
@@ -166,7 +166,7 @@ func Fit(ref *fettoy.Model, spec Spec, opt FitOptions) (*Model, error) {
 		// variant of the starting point lets the optimiser find the
 		// sharper knee at low T instead of a nearby local minimum.
 		starts := [][]float64{breaks}
-		if scale := units.KT(dev.T) / units.KT(units.Room); scale != 1 {
+		if scale := units.KT(dev.T) / units.KT(units.Room); scale != 1 { //lint:allow floatcmp scale exactly 1 means T == Room, no extra start
 			scaled := make([]float64, len(breaks))
 			for i, b := range breaks {
 				scaled[i] = b * scale

@@ -107,14 +107,15 @@ func (m *Model) BreaksU() []float64 { return append([]float64(nil), m.breaks...)
 func (m *Model) PiecewiseU() poly.Piecewise { return m.qsU }
 
 // QS evaluates the approximated source mobile charge q(NS - N0/2) in
-// C/m at the given self-consistent voltage (paper eq. 10). Beyond the
+// C/m at the given self-consistent voltage vsc in volts (V) (paper
+// eq. 10). Beyond the
 // last region boundary it equals exactly -q·N0/2 (the fitted filled-
 // state term is identically zero there).
 func (m *Model) QS(vsc float64) float64 { return m.qs.At(vsc) - m.qn0Half }
 
 // QD evaluates the approximated drain mobile charge: the same fitted
 // curve shifted by the drain bias, QD(VSC) = QS(VSC + VDS) (paper
-// eq. 11 with eq. 6).
+// eq. 11 with eq. 6). vsc and vds are in volts (V).
 func (m *Model) QD(vsc, vds float64) float64 { return m.qs.At(vsc+vds) - m.qn0Half }
 
 // SolveVSC solves the self-consistent voltage equation in closed form.
@@ -169,7 +170,8 @@ func (m *Model) solveVSCGeneric(b fettoy.Bias) (float64, error) {
 }
 
 // CurrentAtVSC evaluates the drain current from a known VSC via the
-// closed-form Fermi–Dirac integral of order 0 (paper eq. 14).
+// closed-form Fermi–Dirac integral of order 0 (paper eq. 14). vsc is
+// in volts (V).
 func (m *Model) CurrentAtVSC(vsc float64, b fettoy.Bias) float64 {
 	vds := b.VD - b.VS
 	usf := m.dev.EF - vsc
@@ -212,15 +214,16 @@ func (m *Model) Solve(b fettoy.Bias) (fettoy.OperatingPoint, error) {
 	}, nil
 }
 
-// CQS returns the source-side nonlinear capacitance dQS/dVSC in F/m —
-// the element the paper's figure-1 equivalent circuit connects between
-// the inner node Σ and the source. It is piecewise-polynomial (degree
+// CQS returns the source-side nonlinear capacitance dQS/dVSC in F/m
+// at self-consistent voltage vsc in volts (V) — the element the
+// paper's figure-1 equivalent circuit connects between the inner node
+// Σ and the source. It is piecewise-polynomial (degree
 // ≤ 2) and negative-valued in the charging region because QS decreases
 // with VSC.
 func (m *Model) CQS(vsc float64) float64 { return m.qsSlope(vsc) }
 
 // CQD returns the drain-side nonlinear capacitance dQD/dVSC in F/m at
-// the given drain bias.
+// the given drain bias; vsc and vds are in volts (V).
 func (m *Model) CQD(vsc, vds float64) float64 { return m.qsSlope(vsc + vds) }
 
 // WithEF returns a model for the same physical tube at a different

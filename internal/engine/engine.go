@@ -162,7 +162,7 @@ type Result struct {
 // Errors are classified — see JobError.
 func Run(ctx context.Context, req Request) (Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxpropagate documented nil-context guard, not a root context
 	}
 	reg := telemetry.Default()
 	before := reg.Snapshot().Counters

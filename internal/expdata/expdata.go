@@ -128,7 +128,7 @@ func measure(ref *fettoy.Model, vg, vd float64) (float64, error) {
 // is not on the dataset grid.
 func (d *Dataset) Curve(vg float64) ([]float64, error) {
 	for i, g := range d.VG {
-		if g == vg {
+		if g == vg { //lint:allow floatcmp grid lookup wants the exact stored value
 			return d.IDS[i], nil
 		}
 	}

@@ -66,7 +66,7 @@ func DF0(eta float64) float64 {
 func Integral(j, eta float64) float64 {
 	gamma := math.Gamma(j + 1)
 	integrand := func(t float64) float64 {
-		if t == 0 {
+		if t == 0 { //lint:allow floatcmp exact integrand endpoint t = 0
 			if j > 0 {
 				return 0
 			}

@@ -36,7 +36,7 @@ type TableOptions struct {
 }
 
 func (o TableOptions) withDefaults(ef float64) TableOptions {
-	if o.UMin == 0 && o.UMax == 0 {
+	if o.UMin == 0 && o.UMax == 0 { //lint:allow floatcmp both exactly zero selects the default range
 		o.UMin, o.UMax = ef-1.3, ef+1.4
 	}
 	if o.RelTol <= 0 {
@@ -144,8 +144,9 @@ func (t *ChargeTable) Nodes() int { return len(t.tab().u) }
 // Range returns the tabulated u interval.
 func (t *ChargeTable) Range() (umin, umax float64) { return t.opt.UMin, t.opt.UMax }
 
-// At returns the interpolated state density and its derivative at u,
-// falling back to the exact integrals outside the tabulated range.
+// At returns the interpolated state density and its derivative at u
+// (on the normalised energy axis, in eV), falling back to the exact
+// integrals outside the tabulated range.
 func (t *ChargeTable) At(u float64) (n, nprime float64) {
 	n, nprime, ok := t.eval(u)
 	if ok {
@@ -159,7 +160,7 @@ func (t *ChargeTable) At(u float64) (n, nprime float64) {
 // tab returns the built grid, building it on first use. Lookups carry
 // no context, so the implicit build is non-cancellable by design.
 func (t *ChargeTable) tab() *tableData {
-	d, _ := t.tabCtx(context.Background())
+	d, _ := t.tabCtx(context.Background()) //lint:allow ctxpropagate lookups carry no context; implicit build is non-cancellable by design
 	return d
 }
 

@@ -79,7 +79,7 @@ type Device struct {
 // TransmissionOrBallistic resolves the transmission coefficient,
 // mapping the zero value to ballistic transport.
 func (d Device) TransmissionOrBallistic() float64 {
-	if d.Transmission == 0 {
+	if d.Transmission == 0 { //lint:allow floatcmp zero value maps to ballistic transport
 		return 1
 	}
 	return d.Transmission

@@ -33,17 +33,17 @@ var metrics = struct {
 	tableHits       *telemetry.Counter
 	tableMisses     *telemetry.Counter
 }{
-	integralEvals:   telemetry.Default().Counter("fettoy.integral_evals"),
-	quadPoints:      telemetry.Default().Counter("fettoy.quad_points"),
-	newtonIters:     telemetry.Default().Counter("fettoy.newton_iters"),
-	bracketFailures: telemetry.Default().Counter("fettoy.bracket_failures"),
-	solves:          telemetry.Default().Counter("fettoy.solves"),
-	solveTime:       telemetry.Default().Timer("fettoy.solve_time"),
-	solveIters:      telemetry.Default().Histogram("fettoy.solve_iters", []float64{2, 4, 8, 16, 32, 64}),
-	tableBuilds:     telemetry.Default().Counter("fettoy.table.builds"),
-	tableNodes:      telemetry.Default().Counter("fettoy.table.nodes"),
-	tableHits:       telemetry.Default().Counter("fettoy.table.hits"),
-	tableMisses:     telemetry.Default().Counter("fettoy.table.misses"),
+	integralEvals:   telemetry.Default().Counter(telemetry.KeyFettoyIntegralEvals),
+	quadPoints:      telemetry.Default().Counter(telemetry.KeyFettoyQuadPoints),
+	newtonIters:     telemetry.Default().Counter(telemetry.KeyFettoyNewtonIters),
+	bracketFailures: telemetry.Default().Counter(telemetry.KeyFettoyBracketFailures),
+	solves:          telemetry.Default().Counter(telemetry.KeyFettoySolves),
+	solveTime:       telemetry.Default().Timer(telemetry.KeyFettoySolveTime),
+	solveIters:      telemetry.Default().Histogram(telemetry.KeyFettoySolveIters, []float64{2, 4, 8, 16, 32, 64}),
+	tableBuilds:     telemetry.Default().Counter(telemetry.KeyFettoyTableBuilds),
+	tableNodes:      telemetry.Default().Counter(telemetry.KeyFettoyTableNodes),
+	tableHits:       telemetry.Default().Counter(telemetry.KeyFettoyTableHits),
+	tableMisses:     telemetry.Default().Counter(telemetry.KeyFettoyTableMisses),
 }
 
 // Model is the theoretical (FETToy-equivalent) ballistic CNT transistor.
@@ -144,6 +144,7 @@ func (m *Model) tailIntegral(g func(float64) float64, start, u float64) float64 
 // level on the same axis (paper eqs. 2-4 evaluate this at USF, UDF and
 // EF). The van Hove edge of each subband is integrated with the exact
 // sqrt substitution; the Fermi tail with a semi-infinite transform.
+// u is in electronvolts (eV).
 func (m *Model) N(u float64) float64 {
 	metrics.integralEvals.Inc()
 	m.localIntegrals.Add(1)
@@ -210,21 +211,24 @@ func (m *Model) NPrime(u float64) float64 {
 }
 
 // NS returns the density of positive-velocity states filled by the
-// source at self-consistent voltage vsc (paper eq. 2): ½·N(EF - vsc).
+// source at self-consistent voltage vsc in volts (V) (paper eq. 2):
+// ½·N(EF - vsc).
 func (m *Model) NS(vsc float64) float64 { return 0.5 * m.N(m.dev.EF-vsc) }
 
 // ND returns the density of negative-velocity states filled by the
-// drain (paper eq. 3): ½·N(EF - vsc - vds).
+// drain (paper eq. 3): ½·N(EF - vsc - vds). vsc and vds are in
+// volts (V).
 func (m *Model) ND(vsc, vds float64) float64 { return 0.5 * m.N(m.dev.EF-vsc-vds) }
 
-// QS returns the source-side mobile charge q(NS - N0/2) in C/m (paper
-// eq. 10) — the quantity the piecewise models approximate.
+// QS returns the source-side mobile charge q(NS - N0/2) in C/m at
+// self-consistent voltage vsc in volts (V) (paper eq. 10) — the
+// quantity the piecewise models approximate.
 func (m *Model) QS(vsc float64) float64 {
 	return units.Q * (m.NS(vsc) - 0.5*m.n0)
 }
 
 // QD returns the drain-side mobile charge q(ND - N0/2) in C/m (paper
-// eq. 11).
+// eq. 11); vsc and vds are in volts (V).
 func (m *Model) QD(vsc, vds float64) float64 {
 	return units.Q * (m.ND(vsc, vds) - 0.5*m.n0)
 }
@@ -305,7 +309,7 @@ func (m *Model) solveVSCAt(b Bias, guess float64, warm bool) (float64, SolveStat
 	opt := rootfind.Options{XTol: 1e-12, MaxIter: 100}
 	if m.trace.Enabled() {
 		opt.OnIter = func(iter int, v, fv float64) {
-			m.trace.Emit("fettoy.newton", 0, "iter", iter, "v", v, "residual", fv, "vg", b.VG, "vd", b.VD)
+			m.trace.Emit(telemetry.KindFettoyNewton, 0, "iter", iter, "v", v, "residual", fv, "vg", b.VG, "vd", b.VD)
 		}
 	}
 	res, err := rootfind.Newton(g, dg, x0, lo, hi, opt)
@@ -316,7 +320,7 @@ func (m *Model) solveVSCAt(b Bias, guess float64, warm bool) (float64, SolveStat
 	m.localNewton.Add(int64(res.Iterations))
 	metrics.solveIters.Observe(float64(res.Iterations))
 	if m.trace.Enabled() {
-		m.trace.Emit("fettoy.solve", 0,
+		m.trace.Emit(telemetry.KindFettoySolve, 0,
 			"vg", b.VG, "vd", b.VD, "vs", b.VS, "vsc", res.Root,
 			"iters", res.Iterations, "fevals", res.FuncEvals)
 	}
@@ -404,9 +408,9 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 		}
 		st.FuncEvals++
 		if traceOn {
-			m.trace.Emit("fettoy.newton", 0, "iter", iter, "v", x, "residual", gx, "vg", b.VG, "vd", b.VD)
+			m.trace.Emit(telemetry.KindFettoyNewton, 0, "iter", iter, "v", x, "residual", gx, "vg", b.VG, "vd", b.VD)
 		}
-		root, done := x, gx == 0
+		root, done := x, gx == 0 //lint:allow floatcmp residual exactly zero is an exact root
 		if !done {
 			// Maintain the bracket, then take the Newton step with a
 			// bisection safeguard (mirrors rootfind.Newton).
@@ -416,7 +420,7 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 				lo, glo = x, gx
 			}
 			next := 0.5 * (lo + hi)
-			if dgx != 0 {
+			if dgx != 0 { //lint:allow floatcmp exact-zero derivative guard before the Newton step
 				if n := x - gx/dgx; n > lo && n < hi {
 					next = n
 				}
@@ -432,7 +436,7 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 			metrics.solveIters.Observe(float64(st.Iterations))
 			flush(true)
 			if traceOn {
-				m.trace.Emit("fettoy.solve", 0,
+				m.trace.Emit(telemetry.KindFettoySolve, 0,
 					"vg", b.VG, "vd", b.VD, "vs", b.VS, "vsc", root,
 					"iters", st.Iterations, "fevals", st.FuncEvals)
 			}
@@ -444,7 +448,7 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 }
 
 // CurrentAtVSC evaluates the ballistic drain current (paper eqs. 12-14)
-// given an already-solved self-consistent voltage.
+// given an already-solved self-consistent voltage vsc in volts (V).
 func (m *Model) CurrentAtVSC(vsc float64, b Bias) float64 {
 	vds := b.VD - b.VS
 	usf := m.dev.EF - vsc
@@ -529,14 +533,15 @@ func (m *Model) Solve(b Bias) (OperatingPoint, error) {
 }
 
 // CQS returns the theoretical source-side nonlinear capacitance
-// dQS/dVSC in F/m (the figure-1 equivalent-circuit element): from
-// QS = q(N(EF-VSC)/2 - N0/2), dQS/dVSC = -q·N'(USF)/2.
+// dQS/dVSC in F/m at self-consistent voltage vsc in volts (V) (the
+// figure-1 equivalent-circuit element): from QS = q(N(EF-VSC)/2 -
+// N0/2), dQS/dVSC = -q·N'(USF)/2.
 func (m *Model) CQS(vsc float64) float64 {
 	return -0.5 * units.Q * m.NPrime(m.dev.EF-vsc)
 }
 
 // CQD returns the theoretical drain-side nonlinear capacitance
-// dQD/dVSC in F/m.
+// dQD/dVSC in F/m; vsc and vds are in volts (V).
 func (m *Model) CQD(vsc, vds float64) float64 {
 	return -0.5 * units.Q * m.NPrime(m.dev.EF-vsc-vds)
 }

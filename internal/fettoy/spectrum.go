@@ -15,7 +15,8 @@ import (
 //	dI/dε = (2q²/πħ)·Σ_p d_p·θ(ε − ε_p)·[f(ε − USF) − f(ε − UDF)]
 //
 // so that ∫₀^∞ dI/dε dε = IDS exactly (the F0 closed form is this
-// integral done analytically). Useful for inspecting where in energy
+// integral done analytically). vsc is in volts (V); eps is the energy
+// ε above the first subband edge, in eV. Useful for inspecting where in energy
 // the current flows — the spectrum peaks between the source and drain
 // Fermi levels and decays with the thermal tails.
 func (m *Model) CurrentSpectrum(vsc float64, b Bias, eps float64) float64 {

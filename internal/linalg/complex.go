@@ -100,7 +100,7 @@ func SolveCLU(a *CMatrix, b []complex128) ([]complex128, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 {
+		if pmax == 0 { //lint:allow floatcmp an exactly zero pivot column is singular
 			return nil, ErrSingular
 		}
 		if p != k {

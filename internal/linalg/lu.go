@@ -39,7 +39,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 {
+		if pmax == 0 { //lint:allow floatcmp an exactly zero pivot column is singular
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -51,7 +51,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / pivot
 			lu.Set(i, k, m)
-			if m == 0 {
+			if m == 0 { //lint:allow floatcmp exact zeros need no elimination
 				continue
 			}
 			for j := k + 1; j < n; j++ {
@@ -96,7 +96,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			s -= f.lu.At(i, j) * x[j]
 		}
 		d := f.lu.At(i, i)
-		if d == 0 {
+		if d == 0 { //lint:allow floatcmp an exactly zero diagonal is singular
 			return nil, ErrSingular
 		}
 		x[i] = s / d

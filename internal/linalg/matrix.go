@@ -117,7 +117,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
-			if a == 0 {
+			if a == 0 { //lint:allow floatcmp exact zeros contribute nothing to the product
 				continue
 			}
 			row := b.data[k*b.cols : (k+1)*b.cols]
@@ -187,7 +187,7 @@ func Dot(a, b []float64) float64 {
 func Norm2(v []float64) float64 {
 	scale, ssq := 0.0, 1.0
 	for _, x := range v {
-		if x == 0 {
+		if x == 0 { //lint:allow floatcmp exact zeros contribute nothing to the norm
 			continue
 		}
 		ax := math.Abs(x)

@@ -29,7 +29,7 @@ func FactorQR(a *Matrix) (*QR, error) {
 			col[i-k] = qr.At(i, k)
 		}
 		nrm := Norm2(col)
-		if nrm == 0 {
+		if nrm == 0 { //lint:allow floatcmp an exactly zero column norm is singular
 			return nil, ErrSingular
 		}
 		if qr.At(k, k) < 0 {
@@ -81,7 +81,7 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 		for j := i + 1; j < n; j++ {
 			s -= f.qr.At(i, j) * x[j]
 		}
-		if f.rdiag[i] == 0 {
+		if f.rdiag[i] == 0 { //lint:allow floatcmp an exactly zero R diagonal is singular
 			return nil, ErrSingular
 		}
 		x[i] = s / f.rdiag[i]

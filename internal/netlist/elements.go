@@ -222,7 +222,7 @@ func (d *Deck) parseModel(line string) error {
 		switch k {
 		case "level":
 			n, err := ParseValue(v)
-			if err != nil || n != 0 && n != 1 && n != 2 {
+			if err != nil || n != 0 && n != 1 && n != 2 { //lint:allow floatcmp level is an exact small integer
 				return fmt.Errorf("level must be 0 (reference), 1 or 2, got %q", v)
 			}
 			card.level = int(n)

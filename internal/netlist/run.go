@@ -19,7 +19,9 @@ import (
 // event log (JSON lines) and the counter snapshot ("* "-prefixed) to
 // the output. A trace already attached to the circuit (e.g. by the
 // cntspice -trace flag) is left alone — the caller owns its export.
-func (d *Deck) Run(w io.Writer) error { return d.RunContext(context.Background(), w) }
+func (d *Deck) Run(w io.Writer) error {
+	return d.RunContext(context.Background(), w) //lint:allow ctxpropagate documented non-cancellable compatibility shim
+}
 
 // RunContext is Run under a cancellable context, checked between
 // analyses (one .op/.dc/.tran/.ac card is the unit of work). A

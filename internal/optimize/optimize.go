@@ -75,10 +75,10 @@ func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) 
 		opt.FTol = 1e-12
 	}
 	step := func(i int) float64 {
-		if i < len(opt.InitialStep) && opt.InitialStep[i] != 0 {
+		if i < len(opt.InitialStep) && opt.InitialStep[i] != 0 { //lint:allow floatcmp zero InitialStep selects the default
 			return opt.InitialStep[i]
 		}
-		if x0[i] != 0 {
+		if x0[i] != 0 { //lint:allow floatcmp relative step needs a nonzero coordinate
 			return 0.05 * math.Abs(x0[i])
 		}
 		return 0.01

@@ -27,7 +27,7 @@ func New(coef ...float64) Poly {
 
 func (p *Poly) trim() {
 	n := len(p.Coef)
-	for n > 0 && p.Coef[n-1] == 0 {
+	for n > 0 && p.Coef[n-1] == 0 { //lint:allow floatcmp trims exactly-zero leading coefficients
 		n--
 	}
 	p.Coef = p.Coef[:n]
@@ -108,7 +108,7 @@ func (p Poly) Mul(q Poly) Poly {
 	}
 	out := make([]float64, len(p.Coef)+len(q.Coef)-1)
 	for i, a := range p.Coef {
-		if a == 0 {
+		if a == 0 { //lint:allow floatcmp exact zeros contribute nothing to the product
 			continue
 		}
 		for j, b := range q.Coef {
@@ -148,7 +148,7 @@ func (p Poly) String() string {
 	var b strings.Builder
 	first := true
 	for i, a := range p.Coef {
-		if a == 0 {
+		if a == 0 { //lint:allow floatcmp exact zeros are not printed
 			continue
 		}
 		if !first {

@@ -38,7 +38,7 @@ func quadraticRoots(c0, c1, c2 float64) []float64 {
 	if disc < 0 {
 		return nil
 	}
-	if disc == 0 {
+	if disc == 0 { //lint:allow floatcmp closed-form discriminant branch
 		return []float64{-c1 / (2 * c2)}
 	}
 	s := math.Sqrt(disc)
@@ -50,7 +50,7 @@ func quadraticRoots(c0, c1, c2 float64) []float64 {
 	}
 	r1 := q / c2
 	var roots []float64
-	if q != 0 {
+	if q != 0 { //lint:allow floatcmp exact-zero divisor guard
 		roots = []float64{r1, c0 / q}
 	} else {
 		// c1 == 0 and c0 == 0: double root at 0 handled above; here
@@ -58,7 +58,7 @@ func quadraticRoots(c0, c1, c2 float64) []float64 {
 		roots = []float64{r1, -r1}
 	}
 	sort.Float64s(roots)
-	if roots[0] == roots[1] {
+	if roots[0] == roots[1] { //lint:allow floatcmp dedups the exactly repeated quadratic root
 		roots = roots[:1]
 	}
 	return roots
@@ -84,8 +84,8 @@ func cubicRoots(c0, c1, c2, c3 float64) []float64 {
 		u := math.Cbrt(-q/2 + sq)
 		v := math.Cbrt(-q/2 - sq)
 		roots = []float64{u + v + shift}
-	case disc == 0:
-		if p == 0 { // triple root
+	case disc == 0: //lint:allow floatcmp closed-form discriminant branch
+		if p == 0 { //lint:allow floatcmp exact triple root
 			roots = []float64{shift}
 		} else { // double + simple root
 			r1 := 3 * q / p
@@ -122,11 +122,11 @@ func polish(p Poly, x float64) float64 {
 	d := p.Deriv()
 	for i := 0; i < 4; i++ {
 		fx := p.At(x)
-		if fx == 0 {
+		if fx == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 			return x
 		}
 		dx := d.At(x)
-		if dx == 0 {
+		if dx == 0 { //lint:allow floatcmp exact-zero derivative guard before dividing
 			return x
 		}
 		step := fx / dx
@@ -173,7 +173,7 @@ func bracketedRoots(p Poly) []float64 {
 	for i := 0; i+1 < len(pts); i++ {
 		a, b := pts[i], pts[i+1]
 		fa, fb := p.At(a), p.At(b)
-		if fa == 0 {
+		if fa == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 			roots = append(roots, a)
 			continue
 		}
@@ -181,7 +181,7 @@ func bracketedRoots(p Poly) []float64 {
 			roots = append(roots, bisect(p, a, b))
 		}
 	}
-	if p.At(bound) == 0 {
+	if p.At(bound) == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		roots = append(roots, bound)
 	}
 	sort.Float64s(roots)
@@ -204,11 +204,11 @@ func bisect(p Poly, a, b float64) float64 {
 	fa := p.At(a)
 	for i := 0; i < 200; i++ {
 		m := 0.5 * (a + b)
-		if m == a || m == b {
+		if m == a || m == b { //lint:allow floatcmp midpoint collapse: float resolution exhausted
 			return m
 		}
 		fm := p.At(m)
-		if fm == 0 {
+		if fm == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 			return m
 		}
 		if fa*fm < 0 {

@@ -160,10 +160,10 @@ func (p *ASCIIPlot) Render(w io.Writer) {
 		fmt.Fprintln(w, "(empty plot)")
 		return
 	}
-	if xmax == xmin {
+	if xmax == xmin { //lint:allow floatcmp degenerate axis-range guard
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //lint:allow floatcmp degenerate axis-range guard
 		ymax = ymin + 1
 	}
 	canvas := make([][]byte, height)
@@ -203,7 +203,7 @@ func Histogram(w io.Writer, samples []float64, bins int, label string) {
 		mn = math.Min(mn, s)
 		mx = math.Max(mx, s)
 	}
-	if mx == mn {
+	if mx == mn { //lint:allow floatcmp degenerate value-range guard
 		fmt.Fprintf(w, "all %d samples at %g\n", len(samples), mn)
 		return
 	}

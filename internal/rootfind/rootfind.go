@@ -40,7 +40,7 @@ func (o *Options) fill() {
 	if o.MaxIter == 0 {
 		o.MaxIter = 200
 	}
-	if o.XTol == 0 && o.FTol == 0 {
+	if o.XTol == 0 && o.FTol == 0 { //lint:allow floatcmp both exactly zero selects the default tolerances
 		o.XTol = 1e-12
 	}
 }
@@ -58,11 +58,11 @@ func Bisect(f func(float64) float64, a, b float64, opt Options) (Result, error) 
 	opt.fill()
 	fa, fb := f(a), f(b)
 	res := Result{FuncEvals: 2}
-	if fa == 0 {
+	if fa == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		res.Root = a
 		return res, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		res.Root = b
 		return res, nil
 	}
@@ -74,7 +74,7 @@ func Bisect(f func(float64) float64, a, b float64, opt Options) (Result, error) 
 		m := 0.5 * (a + b)
 		fm := f(m)
 		res.FuncEvals++
-		if fm == 0 || math.Abs(b-a) < 2*opt.XTol || (opt.FTol > 0 && math.Abs(fm) < opt.FTol) {
+		if fm == 0 || math.Abs(b-a) < 2*opt.XTol || (opt.FTol > 0 && math.Abs(fm) < opt.FTol) { //lint:allow floatcmp residual exactly zero is an exact root
 			res.Root = m
 			return res, nil
 		}
@@ -99,11 +99,11 @@ func Newton(f, df func(float64) float64, x0, lo, hi float64, opt Options) (Resul
 	res := Result{}
 	flo, fhi := f(lo), f(hi)
 	res.FuncEvals = 2
-	if flo == 0 {
+	if flo == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		res.Root = lo
 		return res, nil
 	}
-	if fhi == 0 {
+	if fhi == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		res.Root = hi
 		return res, nil
 	}
@@ -121,7 +121,7 @@ func Newton(f, df func(float64) float64, x0, lo, hi float64, opt Options) (Resul
 		if opt.OnIter != nil {
 			opt.OnIter(i+1, x, fx)
 		}
-		if fx == 0 || (opt.FTol > 0 && math.Abs(fx) < opt.FTol) {
+		if fx == 0 || (opt.FTol > 0 && math.Abs(fx) < opt.FTol) { //lint:allow floatcmp residual exactly zero is an exact root
 			res.Root = x
 			return res, nil
 		}
@@ -134,7 +134,7 @@ func Newton(f, df func(float64) float64, x0, lo, hi float64, opt Options) (Resul
 		dx := df(x)
 		res.FuncEvals++
 		var next float64
-		if dx == 0 {
+		if dx == 0 { //lint:allow floatcmp exact-zero derivative guard before dividing
 			next = 0.5 * (lo + hi)
 		} else {
 			next = x - fx/dx
@@ -158,11 +158,11 @@ func Brent(f func(float64) float64, a, b float64, opt Options) (Result, error) {
 	opt.fill()
 	fa, fb := f(a), f(b)
 	res := Result{FuncEvals: 2}
-	if fa == 0 {
+	if fa == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		res.Root = a
 		return res, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //lint:allow floatcmp residual exactly zero is an exact root
 		res.Root = b
 		return res, nil
 	}
@@ -177,12 +177,12 @@ func Brent(f func(float64) float64, a, b float64, opt Options) (Result, error) {
 	var d float64
 	for i := 0; i < opt.MaxIter; i++ {
 		res.Iterations = i + 1
-		if fb == 0 || math.Abs(b-a) < opt.XTol || (opt.FTol > 0 && math.Abs(fb) < opt.FTol) {
+		if fb == 0 || math.Abs(b-a) < opt.XTol || (opt.FTol > 0 && math.Abs(fb) < opt.FTol) { //lint:allow floatcmp residual exactly zero is an exact root
 			res.Root = b
 			return res, nil
 		}
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //lint:allow floatcmp inverse quadratic needs exactly distinct ordinates
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +
@@ -225,7 +225,7 @@ func Brent(f func(float64) float64, a, b float64, opt Options) (Result, error) {
 // ExpandBracket grows [a, b] geometrically around its centre until f
 // changes sign, up to maxGrow doublings. It returns the bracket found.
 func ExpandBracket(f func(float64) float64, a, b float64, maxGrow int) (float64, float64, error) {
-	if a == b {
+	if a == b { //lint:allow floatcmp degenerate bracket guard
 		b = a + 1e-6
 	}
 	if b < a {
@@ -233,7 +233,7 @@ func ExpandBracket(f func(float64) float64, a, b float64, maxGrow int) (float64,
 	}
 	fa, fb := f(a), f(b)
 	for i := 0; i < maxGrow; i++ {
-		if fa == 0 || fb == 0 || fa*fb < 0 {
+		if fa == 0 || fb == 0 || fa*fb < 0 { //lint:allow floatcmp an exact root at a bracket end is a valid bracket
 			return a, b, nil
 		}
 		w := b - a

@@ -95,7 +95,7 @@ func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, wo
 			defer wg.Done()
 			var points, errs int64
 			if on {
-				defer reg.Timer(fmt.Sprintf("sweep.worker.%d.time", w)).Start()()
+				defer reg.Timer(fmt.Sprintf(telemetry.KeySweepWorkerTimeFmt, w)).Start()()
 			}
 			defer func() { countPoints(reg, on, w, points, errs) }()
 		drain:
@@ -166,7 +166,7 @@ func FamilyParallelLegacy(m device.Solver, vgs, vds []float64, workers int) ([]C
 			defer wg.Done()
 			var points, errs int64
 			if on {
-				defer reg.Timer(fmt.Sprintf("sweep.worker.%d.time", w)).Start()()
+				defer reg.Timer(fmt.Sprintf(telemetry.KeySweepWorkerTimeFmt, w)).Start()()
 			}
 			defer func() { countPoints(reg, on, w, points, errs) }()
 			for tk := range tasks {

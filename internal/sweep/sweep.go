@@ -101,7 +101,7 @@ func CompareFamilies(model, ref []Curve) ([]float64, error) {
 	}
 	out := make([]float64, len(ref))
 	for i := range ref {
-		if model[i].VG != ref[i].VG {
+		if model[i].VG != ref[i].VG { //lint:allow floatcmp families must share the exact VG grid
 			return nil, fmt.Errorf("sweep: gate mismatch at %d: %g vs %g", i, model[i].VG, ref[i].VG)
 		}
 		e, err := RMSPercent(model[i], ref[i])

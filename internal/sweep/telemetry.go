@@ -16,13 +16,13 @@ import (
 // batched paths).
 func countPoints(reg *telemetry.Registry, gateOn bool, worker int, points, errs int64) {
 	if points != 0 {
-		reg.Counter("sweep.points").Add(points)
+		reg.Counter(telemetry.KeySweepPoints).Add(points)
 	}
 	if errs != 0 {
-		reg.Counter("sweep.errors").Add(errs)
+		reg.Counter(telemetry.KeySweepErrors).Add(errs)
 	}
 	if gateOn && worker >= 0 && points != 0 {
-		reg.Counter(fmt.Sprintf("sweep.worker.%d.points", worker)).Add(points)
+		reg.Counter(fmt.Sprintf(telemetry.KeySweepWorkerPointsFmt, worker)).Add(points)
 	}
 }
 

@@ -1,0 +1,122 @@
+package telemetry
+
+// This file is the single registry of telemetry instrument names and
+// trace event kinds. Every call site that names a counter, timer,
+// histogram or trace kind must reference one of these constants — the
+// telemetrykeys analyzer (internal/analysis/telemetrykeys, run by
+// cmd/cntlint) rejects raw string literals, so singular/plural and
+// typo drift between call sites, dashboards and the README/DESIGN
+// counter tables cannot creep back in.
+//
+// Naming conventions:
+//
+//   - Instrument keys are dotted paths rooted at the owning layer
+//     (fettoy, core, circuit, sweep).
+//   - Counters that count events use the plural noun of the event:
+//     "fettoy.solves", "circuit.dc.solves", "circuit.tran.retries".
+//   - Trace kinds describe ONE event and use the singular of the same
+//     stem: the "fettoy.solve" summary event is the per-event twin of
+//     the "fettoy.solves" counter. The two namespaces are disjoint
+//     (Registry instruments vs Trace.Emit kinds); declaring both here,
+//     side by side, is what keeps the pairing canonical. The historic
+//     "circuit.converge_fail" trace kind, whose stem had drifted from
+//     the "circuit.convergence_failures" counter, is reconciled to
+//     KindCircuitConvergenceFailure below.
+//   - Per-worker attribution keys are fmt.Sprintf patterns (suffix
+//     "Fmt"); telemetrykeys accepts fmt.Sprintf(<Fmt constant>, ...)
+//     where a key is expected.
+
+// Counter keys of the reference (FETToy-equivalent) model: quadrature
+// and Newton work per solve, and the charge-table build/lookup split.
+const (
+	// KeyFettoyIntegralEvals counts state-density integral evaluations
+	// (N or N'), the cost the piecewise approximation removes.
+	KeyFettoyIntegralEvals = "fettoy.integral_evals"
+	// KeyFettoyQuadPoints counts quadrature integrand evaluations.
+	KeyFettoyQuadPoints = "fettoy.quad_points"
+	// KeyFettoyNewtonIters counts Newton iterations across VSC solves.
+	KeyFettoyNewtonIters = "fettoy.newton_iters"
+	// KeyFettoyBracketFailures counts VSC solves whose root bracket
+	// search failed.
+	KeyFettoyBracketFailures = "fettoy.bracket_failures"
+	// KeyFettoySolves counts completed SolveVSC calls. Its per-event
+	// trace twin is KindFettoySolve.
+	KeyFettoySolves = "fettoy.solves"
+	// KeyFettoyTableBuilds counts charge-table constructions.
+	KeyFettoyTableBuilds = "fettoy.table.builds"
+	// KeyFettoyTableNodes accumulates adaptive grid sizes over builds.
+	KeyFettoyTableNodes = "fettoy.table.nodes"
+	// KeyFettoyTableHits counts interpolated table lookups.
+	KeyFettoyTableHits = "fettoy.table.hits"
+	// KeyFettoyTableMisses counts lookups that fell back to direct
+	// quadrature (out of tabulated range, or a failed table solve).
+	KeyFettoyTableMisses = "fettoy.table.misses"
+)
+
+// Timer and histogram keys of the reference model.
+const (
+	// KeyFettoySolveTime times SolveVSC (behind the telemetry gate).
+	KeyFettoySolveTime = "fettoy.solve_time"
+	// KeyFettoySolveIters buckets Newton iterations per solve.
+	KeyFettoySolveIters = "fettoy.solve_iters"
+)
+
+// Counter keys of the piecewise closed-form solver: which root formula
+// the bracketed region required, and fallbacks to the generic path.
+const (
+	KeyCoreSolves            = "core.solves"
+	KeyCoreDispatchNone      = "core.dispatch.none"
+	KeyCoreDispatchLinear    = "core.dispatch.linear"
+	KeyCoreDispatchQuadratic = "core.dispatch.quadratic"
+	KeyCoreDispatchCardano   = "core.dispatch.cardano"
+	KeyCoreDispatchTrig      = "core.dispatch.trig"
+	KeyCoreFallbackGeneric   = "core.fallback_generic"
+)
+
+// Counter and histogram keys of the MNA circuit engine.
+const (
+	KeyCircuitDCSolves            = "circuit.dc.solves"
+	KeyCircuitDCNewtonIters       = "circuit.dc.newton_iters"
+	KeyCircuitDCGminSteps         = "circuit.dc.gmin_steps"
+	KeyCircuitLUSolves            = "circuit.lu_solves"
+	KeyCircuitConvergenceFailures = "circuit.convergence_failures"
+	KeyCircuitTranSteps           = "circuit.tran.steps"
+	KeyCircuitTranNewtonIters     = "circuit.tran.newton_iters"
+	KeyCircuitTranRetries         = "circuit.tran.retries"
+	KeyCircuitACSolves            = "circuit.ac.solves"
+	KeyCircuitNewtonItersPerSolve = "circuit.newton_iters_per_solve"
+)
+
+// Counter keys of the sweep schedulers. The worker-attribution pair
+// are Sprintf patterns taking the worker index.
+const (
+	KeySweepPoints          = "sweep.points"
+	KeySweepErrors          = "sweep.errors"
+	KeySweepWorkerPointsFmt = "sweep.worker.%d.points"
+	KeySweepWorkerTimeFmt   = "sweep.worker.%d.time"
+)
+
+// Trace event kinds (Trace.Emit). Kinds are singular: one event per
+// occurrence; see the naming conventions above for how they pair with
+// the plural counters.
+const (
+	// KindFettoyNewton is one Newton iteration of a VSC solve.
+	KindFettoyNewton = "fettoy.newton"
+	// KindFettoySolve is the per-solve summary event (the trace twin of
+	// the KeyFettoySolves counter).
+	KindFettoySolve = "fettoy.solve"
+	// KindCircuitDCSolve is one converged DC Newton solve.
+	KindCircuitDCSolve = "circuit.dc.solve"
+	// KindCircuitDCSweepPoint is one accepted DC sweep point.
+	KindCircuitDCSweepPoint = "circuit.dc.sweep_point"
+	// KindCircuitConvergenceFailure is one Newton convergence failure
+	// (the trace twin of KeyCircuitConvergenceFailures; this kind was
+	// "circuit.converge_fail" before the keys were centralised).
+	KindCircuitConvergenceFailure = "circuit.convergence_failure"
+	// KindCircuitTranStep is one accepted transient step.
+	KindCircuitTranStep = "circuit.tran.step"
+	// KindCircuitTranRetry is one rejected-and-halved transient step.
+	KindCircuitTranRetry = "circuit.tran.retry"
+	// KindCircuitACPoint is one solved AC frequency point.
+	KindCircuitACPoint = "circuit.ac.point"
+)

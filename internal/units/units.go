@@ -57,7 +57,7 @@ func Close(a, b, rel, abs float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return false
 	}
-	if a == b {
+	if a == b { //lint:allow floatcmp exact equality also covers equal infinities
 		return true
 	}
 	d := math.Abs(a - b)

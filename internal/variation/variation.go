@@ -102,7 +102,7 @@ func MonteCarloIDS(ctx context.Context, base fettoy.Device, spread Spread, bias 
 		dRel := spread.DiameterRel * rng.NormFloat64()
 
 		var m *core.Model
-		if spread.DiameterRel == 0 {
+		if spread.DiameterRel == 0 { //lint:allow floatcmp zero spread disables diameter sampling
 			m, err = nominal.WithEF(ef)
 			if err != nil {
 				return Result{}, fmt.Errorf("variation: sample %d: %w", i, err)

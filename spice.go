@@ -108,24 +108,28 @@ type LogicLibrary = logic.Library
 // VTCMetrics are static inverter figures of merit.
 type VTCMetrics = logic.VTCMetrics
 
-// MeasureVTC sweeps an input source and extracts VTC metrics.
+// MeasureVTC sweeps an input source from 0 to the supply voltage vdd
+// in volts (V), in increments of step (V), and extracts VTC metrics.
 func MeasureVTC(c *Circuit, inSource, outNode string, vdd, step float64) (VTCMetrics, error) {
 	return logic.MeasureVTC(c, inSource, outNode, vdd, step)
 }
 
-// PropagationDelay measures 50%-to-50% delays from a transient run.
+// PropagationDelay measures 50%-to-50% delays from a transient run;
+// vdd is the supply voltage in volts (V) defining the 50% threshold.
 func PropagationDelay(sols []*CircuitSolution, inNode, outNode string, vdd float64) (tpHL, tpLH float64) {
 	return logic.PropagationDelay(sols, inNode, outNode, vdd)
 }
 
 // OscillationFrequency estimates a ring oscillator's frequency from a
-// transient run.
+// transient run; vdd is the supply voltage in volts (V), settle the
+// start-up interval (s) excluded from the measurement.
 func OscillationFrequency(sols []*CircuitSolution, node string, vdd, settle float64) (float64, error) {
 	return logic.OscillationFrequency(sols, node, vdd, settle)
 }
 
 // SwitchingEnergy integrates the supply energy drawn over a transient
-// run (the dynamic-power figure of merit).
+// run (the dynamic-power figure of merit); vdd is the supply voltage
+// in volts (V).
 func SwitchingEnergy(sols []*CircuitSolution, vddSource string, vdd float64) float64 {
 	return logic.SwitchingEnergy(sols, vddSource, vdd)
 }
@@ -138,14 +142,22 @@ type (
 	VariationResult = variation.Result
 )
 
-// MonteCarloIDS draws n device variants and returns the drain-current
-// distribution at the bias, evaluated with the fast Model 2.
+// MonteCarloIDSContext draws n device variants and returns the
+// drain-current distribution at the bias, evaluated with the fast
+// Model 2. The context cancels the run between draws.
+func MonteCarloIDSContext(ctx context.Context, dev Device, spread VariationSpread, bias Bias, n int, seed int64) (VariationResult, error) {
+	return variation.MonteCarloIDS(ctx, dev, spread, bias, n, seed)
+}
+
+// MonteCarloIDS is MonteCarloIDSContext with a background context,
+// kept as the convenience entry point for non-cancellable callers.
 func MonteCarloIDS(dev Device, spread VariationSpread, bias Bias, n int, seed int64) (VariationResult, error) {
-	return variation.MonteCarloIDS(context.Background(), dev, spread, bias, n, seed)
+	return MonteCarloIDSContext(context.Background(), dev, spread, bias, n, seed) //lint:allow ctxpropagate documented non-cancellable convenience shim
 }
 
 // EFSensitivity estimates d(IDS)/d(EF) via the refit-free Fermi-level
-// shift.
+// shift; dEF is the shift applied to the Fermi level, in
+// electronvolts (eV).
 func EFSensitivity(dev Device, bias Bias, dEF float64) (float64, error) {
 	return variation.Sensitivity(dev, bias, dEF)
 }
