@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check lint vet build test race bench benchsmoke
+.PHONY: check lint vet build test race bench benchsmoke servesmoke
 
 ## check: the tier-1 gate — vet + cntlint, build, race-enabled tests,
-## and a build-only smoke of the sweep benchmark (tiny grid, no timing
-## assertion: timing under a loaded CI machine is noise).
-check: lint build race benchsmoke
+## a build-only smoke of the sweep benchmark (tiny grid, no timing
+## assertion: timing under a loaded CI machine is noise), and the
+## sweep-service smoke.
+check: lint build race benchsmoke servesmoke
 
 ## lint: go vet plus the project analyzer suite (cmd/cntlint):
 ## telemetry key registry, context propagation, float comparisons,
@@ -35,3 +36,9 @@ bench:
 
 benchsmoke:
 	$(GO) run ./cmd/cntbench -sweepbench -points 9 -repeats 1 -out /dev/null
+
+## servesmoke: end-to-end smoke of the sweep service — cntserve binds
+## an ephemeral port, POSTs itself one family-sweep, asserts a 200
+## with a non-empty family, and shuts down gracefully.
+servesmoke:
+	$(GO) run ./cmd/cntserve -selftest

@@ -1,0 +1,150 @@
+// Command cntserve is the long-running sweep service: an HTTP
+// front-end that accepts JSON job requests — the same iv-point,
+// family-sweep, rms-compare and monte-carlo jobs the CLIs run — and
+// serves them through engine.Run at circuit-simulator rates. Models
+// are named over the wire (family + device preset + T/EF) and built
+// once into a keyed cache, so a client sweeping the same device pays
+// the charge-table tabulation or piecewise fit exactly once.
+//
+//	cntserve                              serve on :8080
+//	cntserve -addr localhost:9090         serve elsewhere
+//	cntserve -inflight 4 -timeout 30s     tighter admission control
+//	cntserve -selftest                    one-shot smoke: serve on an
+//	                                      ephemeral port, POST one
+//	                                      family-sweep, verify, exit
+//
+// Endpoints:
+//
+//	POST /v1/jobs    run one job (see internal/server's wire schema)
+//	GET  /healthz    liveness probe
+//	GET  /metrics    telemetry snapshot (JSON), including server.* keys
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight jobs drain (bounded by -drain), and the process exits 0.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cntfet/internal/server"
+	"cntfet/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request job deadline (negative disables)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+	inflight := flag.Int("inflight", 0, "max concurrently running jobs (0 = GOMAXPROCS); excess gets 429")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+	selftest := flag.Bool("selftest", false, "start on an ephemeral port, run one family-sweep against it, exit")
+	flag.Parse()
+
+	// A server wants its work observable: enable the registry so
+	// /metrics reports solver counters, not just the server.* keys.
+	telemetry.Enable()
+
+	srv := server.New(server.Config{
+		Addr:        *addr,
+		Timeout:     *timeout,
+		MaxBody:     *maxBody,
+		MaxInFlight: *inflight,
+	})
+
+	if *selftest {
+		if err := runSelftest(srv, *drain); err != nil {
+			fmt.Fprintln(os.Stderr, "cntserve: selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cntserve: selftest ok")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cntserve: serving on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal (port in use, ...).
+		fmt.Fprintln(os.Stderr, "cntserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "cntserve: shutting down, draining in-flight jobs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "cntserve: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cntserve:", err)
+		os.Exit(1)
+	}
+}
+
+// runSelftest is the `make servesmoke` body: bind an ephemeral port,
+// serve, POST one family-sweep over the paper's nominal device, and
+// assert a 200 with a non-empty family.
+func runSelftest(srv *server.Server, drain time.Duration) error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	body := `{
+		"kind": "family-sweep",
+		"model": {"family": "model2"},
+		"gates": [0.3, 0.45, 0.6],
+		"drains": [0, 0.2, 0.4, 0.6]
+	}`
+	url := fmt.Sprintf("http://%s/v1/jobs", l.Addr())
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	var jr server.JobResponse
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if len(jr.Family) != 3 || len(jr.Family[0].IDS) != 4 {
+		return fmt.Errorf("degenerate family in response: %s", raw)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

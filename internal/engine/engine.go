@@ -1,7 +1,7 @@
 // Package engine is the orchestration layer between the device models
 // and every front-end: one request/response job API over the unified
-// capability interfaces of internal/device. CLIs (and the forthcoming
-// server front-end) build a Request, call Run with a context, and
+// capability interfaces of internal/device. CLIs and the sweep-service
+// front-end (internal/server) build a Request, call Run with a context, and
 // print from the Result — model selection, sweep-strategy dispatch,
 // cancellation, error classification and request-scoped telemetry all
 // live here instead of being re-implemented per front-end.
@@ -182,7 +182,7 @@ func dispatch(ctx context.Context, req Request) (Result, error) {
 	}
 	switch req.Kind {
 	case IVPoint:
-		return runIVPoint(req)
+		return runIVPoint(ctx, req)
 	case FamilySweep:
 		return runFamily(ctx, req)
 	case RMSCompare:
@@ -195,9 +195,17 @@ func dispatch(ctx context.Context, req Request) (Result, error) {
 	return Result{}, invalidf("engine: unknown job kind %d", int(req.Kind))
 }
 
-func runIVPoint(req Request) (Result, error) {
+func runIVPoint(ctx context.Context, req Request) (Result, error) {
 	if req.Model == nil {
 		return Result{}, invalidf("engine: %s needs Model", req.Kind)
+	}
+	// A table-backed model pays its one-time tabulation here, under the
+	// job's context, instead of uncancellably inside the first solve.
+	if err := prebuild(ctx, req.Model); err != nil {
+		return Result{}, err
+	}
+	if err := context.Cause(ctx); err != nil {
+		return Result{}, err
 	}
 	var res Result
 	if d, ok := req.Model.(device.Device); ok {
@@ -285,6 +293,18 @@ func runRMSCompare(ctx context.Context, req Request) (Result, error) {
 	}
 	if (req.Ref == nil) == (req.RefFamily == nil) {
 		return Result{}, invalidf("engine: %s needs exactly one of Ref or RefFamily", req.Kind)
+	}
+	// A precomputed reference family must actually cover the grid: an
+	// empty or mis-sized RefFamily is a malformed request, not the
+	// numerical failure sweep.CompareFamilies would later report it as.
+	if req.Ref == nil {
+		if len(req.RefFamily) == 0 {
+			return Result{}, invalidf("engine: %s needs a non-empty RefFamily", req.Kind)
+		}
+		if len(req.RefFamily) != len(req.Gates) {
+			return Result{}, invalidf("engine: %s RefFamily has %d curves for %d gate voltages",
+				req.Kind, len(req.RefFamily), len(req.Gates))
+		}
 	}
 	var res Result
 	refFam := req.RefFamily

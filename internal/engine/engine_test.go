@@ -175,6 +175,63 @@ func TestRMSCompareGoldenEquivalence(t *testing.T) {
 	}
 }
 
+// TestIVPointPrebuildCancellation pins the runIVPoint context fix: an
+// IVPoint job on a table-backed model must run the charge-table build
+// under the job context (cancellable, attributed to the job) instead
+// of hiding it inside the first solve.
+func TestIVPointPrebuildCancellation(t *testing.T) {
+	ref, err := fettoy.New(fettoy.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.EnableTable(fettoy.TableOptions{})
+	bias := fettoy.Bias{VG: 0.5, VD: 0.4}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Run(ctx, Request{Kind: IVPoint, Model: ref, Bias: bias})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled IVPoint on table-backed model: want ErrCanceled, got %v", err)
+	}
+	// The aborted build must not poison the table, and the retried job
+	// must carry the build in its own counter delta.
+	res, err := Run(context.Background(), Request{Kind: IVPoint, Model: ref, Bias: bias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.IDS > 0) {
+		t.Fatalf("degenerate IVPoint result: %+v", res)
+	}
+	if res.Metrics["fettoy.table.builds"] != 1 {
+		t.Fatalf("table build not attributed to the IVPoint job: %v", res.Metrics)
+	}
+}
+
+// TestRMSCompareRefFamilyValidation pins the runRMSCompare validation
+// fix: a present-but-empty RefFamily (or one that does not cover the
+// gate grid) must be rejected up front as an invalid request, not
+// surface later from sweep.CompareFamilies as a numerical-looking
+// failure.
+func TestRMSCompareRefFamilyValidation(t *testing.T) {
+	_, fast := buildPair(t, fettoy.Default())
+	gates := []float64{0.4, 0.6}
+	drains := []float64{0, 0.3, 0.6}
+	for name, refFam := range map[string][]sweep.Curve{
+		"empty":         {},
+		"gate mismatch": {{VG: 0.4, VDS: drains, IDS: make([]float64, len(drains))}},
+	} {
+		_, err := Run(context.Background(), Request{
+			Kind: RMSCompare, Model: fast, RefFamily: refFam,
+			Gates: gates, Drains: drains,
+		})
+		if !errors.Is(err, ErrInvalidRequest) {
+			t.Fatalf("%s RefFamily: want ErrInvalidRequest, got %v", name, err)
+		}
+		if errors.Is(err, ErrNumerical) {
+			t.Fatalf("%s RefFamily: misclassified as numerical: %v", name, err)
+		}
+	}
+}
+
 // bracketSolver always fails the way the reference model does when its
 // root bracket never encloses a sign change.
 type bracketSolver struct{}

@@ -1,0 +1,136 @@
+// cache.go is the server's model store. Building a model is the
+// expensive part of a job — the reference theory's charge-table
+// tabulation and the piecewise models' charge-curve fit both sample
+// quadrature integrals — and it depends only on (family, device, T,
+// EF), so a long-running server builds each description once and
+// shares the immutable result across requests. Both library model
+// families are safe for concurrent use after construction, which is
+// exactly the property the cache relies on.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"cntfet/internal/core"
+	"cntfet/internal/device"
+	"cntfet/internal/fettoy"
+	"cntfet/internal/telemetry"
+)
+
+// Resolver turns a wire model description into a ready device model.
+// The production implementation is ModelCache; tests substitute fakes
+// to steer job latency and failure modes.
+type Resolver interface {
+	Resolve(ModelSpec) (device.Solver, error)
+}
+
+// cacheKey identifies one built model. The float fields come straight
+// off the wire: two requests share a model exactly when they name
+// byte-identical parameters, which is the right granularity for a
+// cache (nearby-but-different T or EF is a different physical model).
+type cacheKey struct {
+	family, preset string
+	t, ef          float64
+}
+
+// cacheEntry serialises the build of one key: the first request holds
+// mu while building, later arrivals block on it and then read the
+// published model. A failed build publishes nothing, so the next
+// request retries.
+type cacheEntry struct {
+	mu    sync.Mutex
+	model device.Solver
+}
+
+// ModelCache is a concurrency-safe keyed store of built models. The
+// zero value is not ready; use NewModelCache.
+type ModelCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+// NewModelCache returns an empty cache.
+func NewModelCache() *ModelCache {
+	return &ModelCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// Resolve returns the model a spec names, building it on first use.
+// Concurrent requests for the same key build once; distinct keys build
+// in parallel. Hits and misses are counted on the default telemetry
+// registry (server.cache.*).
+func (c *ModelCache) Resolve(spec ModelSpec) (device.Solver, error) {
+	dev, err := spec.device()
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{family: spec.Family, preset: spec.Device, t: dev.T, ef: dev.EF}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reg := telemetry.Default()
+	if e.model != nil {
+		reg.Counter(telemetry.KeyServerCacheHits).Inc()
+		return e.model, nil
+	}
+	reg.Counter(telemetry.KeyServerCacheMisses).Inc()
+	m, err := build(spec.Family, dev)
+	if err != nil {
+		return nil, err
+	}
+	e.model = m
+	return m, nil
+}
+
+// Len reports how many models are built and cached.
+func (c *ModelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		e.mu.Lock()
+		if e.model != nil {
+			n++
+		}
+		e.mu.Unlock()
+	}
+	return n
+}
+
+// build constructs one model. The reference model gets a charge table
+// attached so its tabulation — built lazily under the first job's
+// context via device.ContextBuilder — is reused by every later
+// request with the same key instead of re-integrating per solve.
+func build(family string, dev fettoy.Device) (device.Solver, error) {
+	switch family {
+	case FamilyReference:
+		ref, err := fettoy.New(dev)
+		if err != nil {
+			return nil, err
+		}
+		ref.EnableTable(fettoy.TableOptions{})
+		return ref, nil
+	case FamilyModel1, FamilyModel2:
+		ref, err := fettoy.New(dev)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.Model2Spec()
+		if family == FamilyModel1 {
+			spec = core.Model1Spec()
+		}
+		return core.Fit(ref, spec, core.FitOptions{})
+	case "":
+		return nil, fmt.Errorf("missing model family (want %q, %q or %q)",
+			FamilyReference, FamilyModel1, FamilyModel2)
+	}
+	return nil, fmt.Errorf("unknown model family %q (want %q, %q or %q)",
+		family, FamilyReference, FamilyModel1, FamilyModel2)
+}

@@ -1,0 +1,231 @@
+// Package server is the long-running front-end of the library: a
+// stdlib-only HTTP service that decodes JSON job requests into
+// engine.Request, runs them through engine.Run, and answers with
+// engine.Result as JSON. It closes the ROADMAP's "sharded / batched
+// sweep service" loop: PR 2's batched sweep engine is the compute
+// core, PR 3's job API is the request surface, and this package adds
+// the production plumbing a multi-tenant deployment needs —
+//
+//   - a keyed model cache (cache.go) so charge tables and piecewise
+//     fits are built once per (family, device, T, EF) and shared;
+//   - admission control: a concurrency-limiting semaphore answering
+//     429 at saturation, and a request body-size cap;
+//   - per-request deadlines and client-disconnect cancellation, both
+//     threaded into the job context so sweeps abort promptly;
+//   - the engine error taxonomy mapped onto HTTP statuses
+//     (ErrInvalidRequest→400, ErrCanceled→499, ErrNumerical→422);
+//   - graceful shutdown draining in-flight jobs; and
+//   - /healthz plus a /metrics telemetry snapshot, with the service's
+//     own work counted under the server.* keys.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"cntfet/internal/engine"
+	"cntfet/internal/telemetry"
+)
+
+// StatusClientClosedRequest is the non-standard HTTP status (nginx's
+// 499) answering a job whose client disconnected — or whose deadline
+// expired — before the result was ready. net/http cannot deliver it to
+// the vanished client; it exists for access logs and the status
+// counters.
+const StatusClientClosedRequest = 499
+
+// Config tunes a Server. The zero value serves on :8080 with
+// production-shaped defaults.
+type Config struct {
+	// Addr is the listen address (ListenAndServe). Empty means :8080.
+	Addr string
+	// Timeout is the per-request job deadline. Zero means 60s;
+	// negative disables the deadline (client disconnect still
+	// cancels).
+	Timeout time.Duration
+	// MaxBody caps the request body size in bytes. Zero means 1 MiB.
+	MaxBody int64
+	// MaxInFlight bounds concurrently running jobs; excess requests
+	// are shed with 429. Zero means GOMAXPROCS.
+	MaxInFlight int
+	// Resolver resolves wire model descriptions. Nil means a fresh
+	// ModelCache; tests substitute fakes.
+	Resolver Resolver
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.Resolver == nil {
+		c.Resolver = NewModelCache()
+	}
+	return c
+}
+
+// Server is the HTTP front-end. Create one with New; drive it with
+// ListenAndServe or Serve and stop it with Shutdown.
+type Server struct {
+	cfg  Config
+	sem  chan struct{}
+	http *http.Server
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	s.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler exposes the route table (handler-level tests go through it
+// without a listener).
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// ListenAndServe serves on the configured address until Shutdown.
+// Like http.Server, it returns http.ErrServerClosed after a clean
+// shutdown.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Serve serves on an existing listener (tests bind an ephemeral port
+// first and read it back).
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown stops accepting connections and drains in-flight jobs,
+// waiting until they finish or ctx expires. In-flight job contexts
+// stay live during the drain: a request already computing completes
+// and its client gets the answer.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// handleJob is POST /v1/jobs: admission control, decode, resolve,
+// run, answer.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	reg := telemetry.Default()
+	reg.Counter(telemetry.KeyServerRequests).Inc()
+
+	// Admission first, before reading the body: a saturated server
+	// sheds load at the cheapest possible point.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		reg.Counter(telemetry.KeyServerSaturated).Inc()
+		reg.Counter(telemetry.KeyServerErrors).Inc()
+		writeError(w, http.StatusTooManyRequests, "saturated",
+			fmt.Errorf("server: all %d job slots busy", cap(s.sem)))
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var jr JobRequest
+	if err := dec.Decode(&jr); err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		reg.Counter(telemetry.KeyServerErrors).Inc()
+		writeError(w, status, "invalid-request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+
+	req, err := jr.toEngine(s.cfg.Resolver)
+	if err != nil {
+		reg.Counter(telemetry.KeyServerErrors).Inc()
+		writeError(w, http.StatusBadRequest, "invalid-request", err)
+		return
+	}
+
+	// The job context is the request context — net/http cancels it on
+	// client disconnect — tightened by the per-request deadline.
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	res, err := engine.Run(ctx, req)
+	if err != nil {
+		status, class := statusOf(err)
+		if status == StatusClientClosedRequest {
+			reg.Counter(telemetry.KeyServerCanceled).Inc()
+		} else {
+			reg.Counter(telemetry.KeyServerErrors).Inc()
+		}
+		writeError(w, status, class, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWire(jr.Kind, res))
+}
+
+// statusOf maps the engine error taxonomy onto HTTP statuses via
+// errors.Is, so the classification established by engine.JobError
+// travels to the client unchanged.
+func statusOf(err error) (status int, class string) {
+	switch {
+	case errors.Is(err, engine.ErrInvalidRequest):
+		return http.StatusBadRequest, "invalid-request"
+	case errors.Is(err, engine.ErrCanceled):
+		return StatusClientClosedRequest, "canceled"
+	case errors.Is(err, engine.ErrNumerical):
+		return http.StatusUnprocessableEntity, "numerical"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the process-wide telemetry snapshot — the same
+// counters the CLIs print with -metrics, plus the server.* keys.
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := telemetry.Default().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding errors past the header are undeliverable (the client is
+	// mid-read or gone); nothing useful remains to be done with them.
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, class string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Class: class})
+}

@@ -1,0 +1,309 @@
+// wire.go is the JSON schema of the sweep service: the structures a
+// client POSTs to /v1/jobs and the response it reads back, plus the
+// translation into/out of the engine's native types. engine.Request
+// holds interface-typed models, so the wire form names a model family
+// and the device parameters instead — the server resolves that
+// description against its keyed model cache (cache.go) before
+// dispatching to engine.Run.
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"cntfet/internal/engine"
+	"cntfet/internal/fettoy"
+	"cntfet/internal/sweep"
+	"cntfet/internal/variation"
+)
+
+// Model families the wire schema can name. "reference" is the
+// FETToy-style theory backed by a charge table (so repeated requests
+// reuse one tabulation); "model1"/"model2" are the paper's piecewise
+// closed-form models.
+const (
+	FamilyReference = "reference"
+	FamilyModel1    = "model1"
+	FamilyModel2    = "model2"
+)
+
+// Device presets the wire schema can name.
+const (
+	DeviceDefault = "default"
+	DeviceJavey   = "javey"
+)
+
+// ModelSpec names a concrete device model without shipping one over
+// the wire: a model family fitted to a preset device, with the two
+// per-study parameters the paper varies (temperature and Fermi level)
+// overridable. The tuple (family, device, t, ef) is also the model
+// cache key.
+type ModelSpec struct {
+	// Family is "reference", "model1" or "model2". MonteCarlo jobs use
+	// only the device parameters and may leave it empty.
+	Family string `json:"family"`
+	// Device is the preset name: "default" (the paper's nominal
+	// device, also the zero value) or "javey" (the section-VI
+	// experimental device).
+	Device string `json:"device,omitempty"`
+	// T overrides the preset lattice temperature in kelvin (K); 0
+	// keeps the preset value.
+	T float64 `json:"t,omitempty"`
+	// EF overrides the preset source Fermi level in eV; null keeps the
+	// preset value (0 is a legitimate override — table IV).
+	EF *float64 `json:"ef,omitempty"`
+}
+
+// device resolves the preset and applies the overrides.
+func (m ModelSpec) device() (fettoy.Device, error) {
+	var dev fettoy.Device
+	switch m.Device {
+	case DeviceDefault, "":
+		dev = fettoy.Default()
+	case DeviceJavey:
+		dev = fettoy.Javey()
+	default:
+		return fettoy.Device{}, fmt.Errorf("unknown device preset %q (want %q or %q)",
+			m.Device, DeviceDefault, DeviceJavey)
+	}
+	if m.T != 0 { //lint:allow floatcmp zero value keeps the preset temperature
+		dev.T = m.T
+	}
+	if m.EF != nil {
+		dev.EF = *m.EF
+	}
+	if err := dev.Validate(); err != nil {
+		return fettoy.Device{}, err
+	}
+	return dev, nil
+}
+
+// Curve is the wire form of one IDS(VDS) sweep at fixed VG. Voltages
+// are in volts, currents in amperes.
+type Curve struct {
+	VG  float64   `json:"vg"`
+	VDS []float64 `json:"vds"`
+	IDS []float64 `json:"ids"`
+}
+
+func curvesToWire(fam []sweep.Curve) []Curve {
+	if fam == nil {
+		return nil
+	}
+	out := make([]Curve, len(fam))
+	for i, c := range fam {
+		out[i] = Curve{VG: c.VG, VDS: c.VDS, IDS: c.IDS}
+	}
+	return out
+}
+
+func curvesFromWire(fam []Curve) []sweep.Curve {
+	if fam == nil {
+		return nil
+	}
+	out := make([]sweep.Curve, len(fam))
+	for i, c := range fam {
+		out[i] = sweep.Curve{VG: c.VG, VDS: c.VDS, IDS: c.IDS}
+	}
+	return out
+}
+
+// JobRequest is the body of POST /v1/jobs. Kind selects the job;
+// per-kind field requirements mirror engine.Request (the engine's own
+// validation backstops anything the wire layer lets through).
+type JobRequest struct {
+	// Kind is one of "iv-point", "family-sweep", "rms-compare",
+	// "monte-carlo".
+	Kind string `json:"kind"`
+
+	// Model is the device under test (all kinds; MonteCarlo reads only
+	// its device parameters).
+	Model *ModelSpec `json:"model"`
+	// Ref or RefFamily supply the rms-compare reference: a model to
+	// sweep on the same grid, or precomputed curves. Exactly one.
+	Ref       *ModelSpec `json:"ref,omitempty"`
+	RefFamily []Curve    `json:"ref_family,omitempty"`
+
+	// VG and VD are the bias point in volts (iv-point, monte-carlo).
+	VG float64 `json:"vg,omitempty"`
+	VD float64 `json:"vd,omitempty"`
+	// Gates and Drains are the sweep grids in volts (family-sweep,
+	// rms-compare).
+	Gates  []float64 `json:"gates,omitempty"`
+	Drains []float64 `json:"drains,omitempty"`
+
+	// Strategy is "auto" (default), "serial", "batch" or "parallel";
+	// Workers steers the parallel scheduler; Repeat re-runs a
+	// family-sweep (benchmark loops).
+	Strategy string `json:"strategy,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	Repeat   int    `json:"repeat,omitempty"`
+
+	// Monte Carlo study shape: per-device dispersion (one standard
+	// deviation each), sample count and RNG seed.
+	EFSigma       float64 `json:"ef_sigma,omitempty"`
+	DiameterSigma float64 `json:"diameter_sigma,omitempty"`
+	Samples       int     `json:"samples,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+}
+
+// kinds maps the wire kind names onto the engine's. Netlist jobs are
+// deliberately absent: decks execute arbitrary analyses and belong to
+// the CLIs, not a multi-tenant endpoint.
+var kinds = map[string]engine.Kind{
+	engine.IVPoint.String():     engine.IVPoint,
+	engine.FamilySweep.String(): engine.FamilySweep,
+	engine.RMSCompare.String():  engine.RMSCompare,
+	engine.MonteCarlo.String():  engine.MonteCarlo,
+}
+
+var strategies = map[string]engine.Strategy{
+	"":         engine.Auto,
+	"auto":     engine.Auto,
+	"serial":   engine.Serial,
+	"batch":    engine.Batch,
+	"parallel": engine.Parallel,
+}
+
+// toEngine resolves the wire request into an engine.Request, looking
+// models up through the resolver. Every error it returns is a
+// client-side problem (the server maps them to HTTP 400).
+func (jr JobRequest) toEngine(res Resolver) (engine.Request, error) {
+	kind, ok := kinds[jr.Kind]
+	if !ok {
+		known := make([]string, 0, len(kinds))
+		for k := range kinds {
+			known = append(known, k)
+		}
+		return engine.Request{}, fmt.Errorf("unknown kind %q (want one of %s)",
+			jr.Kind, strings.Join(known, ", "))
+	}
+	if jr.Model == nil {
+		return engine.Request{}, fmt.Errorf("%s needs a model", jr.Kind)
+	}
+	req := engine.Request{
+		Kind:    kind,
+		Bias:    fettoy.Bias{VG: jr.VG, VD: jr.VD},
+		Gates:   jr.Gates,
+		Drains:  jr.Drains,
+		Workers: jr.Workers,
+		Repeat:  jr.Repeat,
+		Spread:  variation.Spread{EF: jr.EFSigma, DiameterRel: jr.DiameterSigma},
+		Samples: jr.Samples,
+		Seed:    jr.Seed,
+	}
+	st, ok := strategies[jr.Strategy]
+	if !ok {
+		return engine.Request{}, fmt.Errorf("unknown strategy %q (want auto, serial, batch or parallel)", jr.Strategy)
+	}
+	req.Strategy = st
+
+	if kind == engine.MonteCarlo {
+		// MC fits its own piecewise models per sample; only the device
+		// parameters travel.
+		dev, err := jr.Model.device()
+		if err != nil {
+			return engine.Request{}, fmt.Errorf("model: %w", err)
+		}
+		req.Device = dev
+		return req, nil
+	}
+
+	m, err := res.Resolve(*jr.Model)
+	if err != nil {
+		return engine.Request{}, fmt.Errorf("model: %w", err)
+	}
+	req.Model = m
+
+	if kind == engine.RMSCompare {
+		if jr.Ref != nil && jr.RefFamily != nil {
+			return engine.Request{}, fmt.Errorf("%s takes ref or ref_family, not both", jr.Kind)
+		}
+		switch {
+		case jr.Ref != nil:
+			ref, err := res.Resolve(*jr.Ref)
+			if err != nil {
+				return engine.Request{}, fmt.Errorf("ref: %w", err)
+			}
+			req.Ref = ref
+		case jr.RefFamily != nil:
+			req.RefFamily = curvesFromWire(jr.RefFamily)
+		default:
+			return engine.Request{}, fmt.Errorf("%s needs ref or ref_family", jr.Kind)
+		}
+	}
+	return req, nil
+}
+
+// OperatingPoint is the wire form of a solved bias point: the
+// self-consistent voltage in volts, current in amperes, terminal
+// charges in C/m.
+type OperatingPoint struct {
+	VSC float64 `json:"vsc"`
+	IDS float64 `json:"ids"`
+	QS  float64 `json:"qs"`
+	QD  float64 `json:"qd"`
+}
+
+// MCResult is the wire form of a Monte Carlo summary (currents in
+// amperes).
+type MCResult struct {
+	Samples []float64 `json:"samples"`
+	Mean    float64   `json:"mean"`
+	Std     float64   `json:"std"`
+	P5      float64   `json:"p5"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+}
+
+// JobResponse is the body of a successful /v1/jobs answer. Only the
+// fields of the requested kind are populated; Metrics carries the
+// job's telemetry counter deltas and ElapsedNS its wall-clock
+// duration.
+type JobResponse struct {
+	Kind string `json:"kind"`
+
+	IDS float64         `json:"ids,omitempty"`
+	OP  *OperatingPoint `json:"op,omitempty"`
+
+	Family     []Curve   `json:"family,omitempty"`
+	RefFamily  []Curve   `json:"ref_family,omitempty"`
+	RMSPercent []float64 `json:"rms_percent,omitempty"`
+
+	MC *MCResult `json:"mc,omitempty"`
+
+	Metrics   map[string]int64 `json:"metrics,omitempty"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+}
+
+// toWire converts an engine result for the wire.
+func toWire(kind string, res engine.Result) JobResponse {
+	out := JobResponse{
+		Kind:       kind,
+		IDS:        res.IDS,
+		Family:     curvesToWire(res.Family),
+		RefFamily:  curvesToWire(res.RefFamily),
+		RMSPercent: res.RMSPercent,
+		Metrics:    res.Metrics,
+		ElapsedNS:  int64(res.Elapsed),
+	}
+	if res.OP != (fettoy.OperatingPoint{}) {
+		out.OP = &OperatingPoint{VSC: res.OP.VSC, IDS: res.OP.IDS, QS: res.OP.QS, QD: res.OP.QD}
+	}
+	if res.MC != nil {
+		out.MC = &MCResult{
+			Samples: res.MC.Samples,
+			Mean:    res.MC.Mean, Std: res.MC.Std,
+			P5: res.MC.P5, P50: res.MC.P50, P95: res.MC.P95,
+		}
+	}
+	return out
+}
+
+// ErrorResponse is the body of a non-2xx answer. Class is the engine
+// taxonomy bucket the failure mapped to ("invalid-request",
+// "canceled", "numerical", "saturated" or "internal").
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}

@@ -96,6 +96,32 @@ const (
 	KeySweepWorkerTimeFmt   = "sweep.worker.%d.time"
 )
 
+// Counter keys of the sweep-service front-end (internal/server +
+// cmd/cntserve). Requests/errors/canceled/saturated partition the
+// HTTP outcomes; the cache pair splits model resolution between reuse
+// of an already-built model and a fresh build.
+const (
+	// KeyServerRequests counts accepted job requests (after routing,
+	// before admission control).
+	KeyServerRequests = "server.requests"
+	// KeyServerErrors counts job requests answered with an error
+	// status other than cancellation (400/422/429/5xx).
+	KeyServerErrors = "server.errors"
+	// KeyServerCanceled counts jobs aborted by client disconnect or
+	// the per-request deadline (HTTP 499).
+	KeyServerCanceled = "server.canceled"
+	// KeyServerSaturated counts requests shed with 429 because every
+	// concurrency slot was busy.
+	KeyServerSaturated = "server.saturated"
+	// KeyServerCacheHits counts job requests served by an
+	// already-built model from the keyed cache.
+	KeyServerCacheHits = "server.cache.hits"
+	// KeyServerCacheMisses counts model-cache misses that paid a model
+	// build (reference construction, charge-table attach, or a
+	// piecewise fit).
+	KeyServerCacheMisses = "server.cache.misses"
+)
+
 // Trace event kinds (Trace.Emit). Kinds are singular: one event per
 // occurrence; see the naming conventions above for how they pair with
 // the plural counters.
