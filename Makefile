@@ -39,6 +39,9 @@ benchsmoke:
 
 ## servesmoke: end-to-end smoke of the sweep service — cntserve binds
 ## an ephemeral port, POSTs itself one family-sweep, asserts a 200
-## with a non-empty family, and shuts down gracefully.
+## with a non-empty family, scrapes /metrics through the Prometheus
+## conformance checker, checks /metrics.json and /healthz, verifies
+## the job's trace ID correlates the access log, job log and
+## /debug/trace spans, and shuts down gracefully.
 servesmoke:
 	$(GO) run ./cmd/cntserve -selftest

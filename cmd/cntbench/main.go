@@ -14,7 +14,8 @@
 // iterations, piecewise region-dispatch counts, ...), so benchmark
 // trajectories can correlate speedups with solver-work reduction.
 // -trace writes the reference model's Newton residual trajectories as
-// JSON lines.
+// JSON lines, followed by the completed span records (charge-table
+// builds and other instrumented stages) from the span tracer.
 package main
 
 import (
@@ -119,6 +120,10 @@ func run(ctx context.Context, counts []int, points int, opt options) error {
 		telemetry.Enable()
 		tr = telemetry.NewTrace(1 << 16)
 		ref.SetTrace(tr)
+		// Spans ride along in the same file: the charge-table build and
+		// any other instrumented stage land as span records after the
+		// solver events.
+		telemetry.DefaultTracer().SetEnabled(true)
 	}
 	m1, err := cntfet.FitFrom(ref, cntfet.Model1Spec(), cntfet.FitOptions{})
 	if err != nil {
@@ -185,6 +190,9 @@ func run(ctx context.Context, counts []int, points int, opt options) error {
 		defer f.Close()
 		if err := tr.WriteJSON(f); err != nil {
 			return fmt.Errorf("trace export: %w", err)
+		}
+		if err := telemetry.DefaultTracer().WriteJSON(f); err != nil {
+			return fmt.Errorf("span export: %w", err)
 		}
 	}
 

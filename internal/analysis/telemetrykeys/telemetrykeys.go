@@ -1,11 +1,16 @@
 // Package telemetrykeys rejects raw string literals as telemetry
-// instrument names or trace event kinds: every name passed to
-// Registry.Counter/Timer/Histogram or Trace.Emit must be a constant
-// declared in internal/telemetry (keys.go). PR 1 scattered dotted keys
-// as literals across six layers; the "fettoy.solve" trace kind next to
-// the "fettoy.solves" counter shows how close typo and plural drift
-// then sits to silently splitting a metric. With the registry central
-// and literals banned, drift is a compile^W lint failure.
+// names: instrument names and trace event kinds passed to
+// Registry.Counter/Timer/Histogram or Trace.Emit, span kinds passed to
+// StartSpan (the package function or the Tracer method), structured-log
+// event names passed to Logger.Log, and structured-log field names
+// passed to the Field constructors (String, Int, Float, Bool, Dur) must
+// all be constants declared in internal/telemetry (keys.go). PR 1
+// scattered dotted keys as literals across six layers; the
+// "fettoy.solve" trace kind next to the "fettoy.solves" counter shows
+// how close typo and plural drift then sits to silently splitting a
+// metric — and a drifting span kind or log field name splits a trace
+// query the same way. With the registry central and literals banned,
+// drift is a compile^W lint failure.
 //
 // Dynamic per-worker keys remain expressible as
 // fmt.Sprintf(telemetry.KeySweepWorkerPointsFmt, w): Sprintf is
@@ -23,19 +28,33 @@ import (
 // TelemetryPath is the package whose constants are the key registry.
 const TelemetryPath = "cntfet/internal/telemetry"
 
-// methods whose first string argument names an instrument or kind.
-var keyMethods = map[string]bool{
-	"Counter":   true,
-	"Timer":     true,
-	"Histogram": true,
-	"Emit":      true,
+// keyMethodArg maps telemetry methods (with receiver) to the index of
+// the argument naming an instrument, kind or event.
+var keyMethodArg = map[string]int{
+	"Counter":   0, // Registry.Counter(name)
+	"Timer":     0, // Registry.Timer(name)
+	"Histogram": 0, // Registry.Histogram(name, bounds)
+	"Emit":      0, // Trace.Emit(kind, ...)
+	"StartSpan": 1, // Tracer.StartSpan(ctx, kind)
+	"Log":       0, // Logger.Log(event, fields...)
+}
+
+// keyFuncArg is the same for package-level functions: the span entry
+// point and the structured-log field constructors.
+var keyFuncArg = map[string]int{
+	"StartSpan": 1, // StartSpan(ctx, kind)
+	"String":    0, // String(key, v)
+	"Int":       0,
+	"Float":     0,
+	"Bool":      0,
+	"Dur":       0,
 }
 
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "telemetrykeys",
-	Doc: "telemetry instrument names and trace kinds must be constants " +
-		"declared in internal/telemetry/keys.go, not string literals",
+	Doc: "telemetry instrument names, span kinds and log field names must be " +
+		"constants declared in internal/telemetry/keys.go, not string literals",
 	Run: run,
 }
 
@@ -54,13 +73,19 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn := analysis.CalleeFunc(info, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != TelemetryPath || !keyMethods[fn.Name()] {
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != TelemetryPath {
 				return true
 			}
-			if sig := fn.Signature(); sig.Recv() == nil {
-				return true // only the Registry/Trace methods carry keys
+			var idx int
+			if fn.Signature().Recv() != nil {
+				idx, ok = keyMethodArg[fn.Name()]
+			} else {
+				idx, ok = keyFuncArg[fn.Name()]
 			}
-			arg := call.Args[0]
+			if !ok || len(call.Args) <= idx {
+				return true
+			}
+			arg := call.Args[idx]
 			if !isRegistryKey(pass, arg) {
 				pass.Reportf(arg.Pos(),
 					"telemetry %s name %s must be a constant from %s (keys.go), not %s",

@@ -3,7 +3,9 @@
 package a
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cntfet/internal/telemetry"
 )
@@ -27,4 +29,33 @@ func good(reg *telemetry.Registry, tr *telemetry.Trace, worker int) {
 	reg.Histogram(telemetry.KeyFettoySolveIters, nil)
 	tr.Emit(telemetry.KindFettoySolve, 0)
 	reg.Counter(fmt.Sprintf(telemetry.KeySweepWorkerPointsFmt, worker)).Inc()
+}
+
+func badSpans(ctx context.Context, spanner *telemetry.Tracer, lg *telemetry.Logger) {
+	_, sp := telemetry.StartSpan(ctx, "a.span") // want `must be a constant`
+	_, _ = spanner.StartSpan(ctx, "a.span")     // want `must be a constant`
+	sp.Set(
+		telemetry.String("a.field", "v"),    // want `must be a constant`
+		telemetry.Int("a.iters", 1),         // want `must be a constant`
+		telemetry.Float("a.vg", 0.5),        // want `must be a constant`
+		telemetry.Bool("a.hit", true),       // want `must be a constant`
+		telemetry.Dur("a.dur", time.Second), // want `must be a constant`
+	)
+	lg.Log("a.event") // want `must be a constant`
+	sp.End()
+}
+
+func goodSpans(ctx context.Context, spanner *telemetry.Tracer, lg *telemetry.Logger) {
+	ctx, sp := telemetry.StartSpan(ctx, telemetry.SpanEngineJob)
+	_, sp2 := spanner.StartSpan(ctx, telemetry.SpanSweepChunk)
+	sp.Set(
+		telemetry.String(telemetry.AttrModelKey, "k"),
+		telemetry.Int(telemetry.AttrPoints, 1),
+		telemetry.Float(telemetry.AttrVG, 0.5),
+		telemetry.Bool(telemetry.AttrCacheHit, true),
+		telemetry.Dur(telemetry.FieldDurNS, time.Second),
+	)
+	lg.Log(telemetry.LogEventJob, telemetry.String(telemetry.FieldTrace, sp.TraceID()))
+	sp2.End()
+	sp.End()
 }

@@ -165,14 +165,32 @@ func Run(ctx context.Context, req Request) (Result, error) {
 		ctx = context.Background() //lint:allow ctxpropagate documented nil-context guard, not a root context
 	}
 	reg := telemetry.Default()
+	reg.Counter(telemetry.KeyEngineJobs).Inc()
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanEngineJob)
+	span.Set(telemetry.String(telemetry.AttrJobKind, req.Kind.String()))
 	before := reg.Snapshot().Counters
 	start := time.Now()
 	res, err := dispatch(ctx, req)
 	res.Elapsed = time.Since(start)
 	res.Metrics = counterDelta(before, reg.Snapshot().Counters)
+	reg.Histogram(telemetry.KeyEngineJobSeconds, telemetry.LatencyBuckets).
+		Observe(res.Elapsed.Seconds())
+	// The per-job counter deltas double as span attributes: the same
+	// Newton-iteration and cache-hit movement that is global noise in
+	// the registry is exact cost attribution on the job's span.
+	span.SetMetrics(res.Metrics)
+	if len(req.Gates) > 0 || len(req.Drains) > 0 {
+		span.Set(
+			telemetry.Int(telemetry.AttrGates, int64(len(req.Gates))),
+			telemetry.Int(telemetry.AttrDrains, int64(len(req.Drains))),
+		)
+	}
 	if err != nil {
+		span.Set(telemetry.String(telemetry.AttrError, err.Error()))
+		span.End()
 		return res, classify(req.Kind, err)
 	}
+	span.End()
 	return res, nil
 }
 

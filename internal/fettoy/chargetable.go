@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"cntfet/internal/telemetry"
 )
 
 // TableOptions tunes a ChargeTable. The zero value selects defaults
@@ -176,10 +178,18 @@ func (t *ChargeTable) tabCtx(ctx context.Context) (*tableData, error) {
 	if d := t.data.Load(); d != nil {
 		return d, nil
 	}
+	// The one-time tabulation is exactly the kind of hidden cost spans
+	// exist for: under the sweep service it shows up as a child of the
+	// job that happened to arrive first.
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanFettoyTableBuild)
 	d, err := t.build(ctx)
 	if err != nil {
+		span.Set(telemetry.String(telemetry.AttrError, err.Error()))
+		span.End()
 		return nil, err
 	}
+	span.Set(telemetry.Int(telemetry.AttrTableNodes, int64(len(d.u))))
+	span.End()
 	t.data.Store(d)
 	metrics.tableBuilds.Inc()
 	metrics.tableNodes.Add(int64(len(d.u)))

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,9 +21,12 @@ import (
 
 // Resolver turns a wire model description into a ready device model.
 // The production implementation is ModelCache; tests substitute fakes
-// to steer job latency and failure modes.
+// to steer job latency and failure modes. cached reports whether an
+// already-built model was reused — the observability layer turns it
+// into the job's cache_hit attribute. ctx scopes the build (a
+// cache-miss fit runs under the requesting job's span and deadline).
 type Resolver interface {
-	Resolve(ModelSpec) (device.Solver, error)
+	Resolve(ctx context.Context, spec ModelSpec) (m device.Solver, cached bool, err error)
 }
 
 // cacheKey identifies one built model. The float fields come straight
@@ -32,6 +36,16 @@ type Resolver interface {
 type cacheKey struct {
 	family, preset string
 	t, ef          float64
+}
+
+// String renders the key for spans and logs: "family/preset/T=…/EF=…"
+// with resolved (post-override) parameter values.
+func (k cacheKey) String() string {
+	preset := k.preset
+	if preset == "" {
+		preset = DeviceDefault
+	}
+	return fmt.Sprintf("%s/%s/T=%g/EF=%g", k.family, preset, k.t, k.ef)
 }
 
 // cacheEntry serialises the build of one key: the first request holds
@@ -58,11 +72,13 @@ func NewModelCache() *ModelCache {
 // Resolve returns the model a spec names, building it on first use.
 // Concurrent requests for the same key build once; distinct keys build
 // in parallel. Hits and misses are counted on the default telemetry
-// registry (server.cache.*).
-func (c *ModelCache) Resolve(spec ModelSpec) (device.Solver, error) {
+// registry (server.cache.*), and a cache-miss build runs under its own
+// span (server.model_build) carrying the model key, so the request
+// that pays the one-time fit cost is visible in its trace.
+func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver, bool, error) {
 	dev, err := spec.device()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	key := cacheKey{family: spec.Family, preset: spec.Device, t: dev.T, ef: dev.EF}
 	c.mu.Lock()
@@ -78,15 +94,30 @@ func (c *ModelCache) Resolve(spec ModelSpec) (device.Solver, error) {
 	reg := telemetry.Default()
 	if e.model != nil {
 		reg.Counter(telemetry.KeyServerCacheHits).Inc()
-		return e.model, nil
+		return e.model, true, nil
 	}
 	reg.Counter(telemetry.KeyServerCacheMisses).Inc()
+	_, span := telemetry.StartSpan(ctx, telemetry.SpanServerModelBuild)
+	span.Set(telemetry.String(telemetry.AttrModelKey, key.String()))
 	m, err := build(spec.Family, dev)
 	if err != nil {
-		return nil, err
+		span.Set(telemetry.String(telemetry.AttrError, err.Error()))
+		span.End()
+		return nil, false, err
 	}
+	span.End()
 	e.model = m
-	return m, nil
+	return m, false, nil
+}
+
+// Key renders the cache identity a spec resolves to, for logs and
+// spans. Unresolvable specs render with their raw override values.
+func (m ModelSpec) Key() string {
+	dev, err := m.device()
+	if err != nil {
+		return fmt.Sprintf("%s/%s/T=%g/EF=%v", m.Family, m.Device, m.T, m.EF)
+	}
+	return cacheKey{family: m.Family, preset: m.Device, t: dev.T, ef: dev.EF}.String()
 }
 
 // Len reports how many models are built and cached.

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cntfet/internal/telemetry"
+)
+
+// decodeNDJSON parses one-record-per-line JSON into generic maps.
+func decodeNDJSON(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestTraceCorrelation is the end-to-end observability check: one
+// POST /v1/jobs family-sweep against the real model cache produces one
+// trace ID that appears in the access-log record, the job-log record,
+// and the /debug/trace span ring — with the span tree reaching from
+// server.request through engine.job down to the reference model's
+// charge-table build, and the job record carrying Newton-iteration
+// and cache-hit attribution.
+func TestTraceCorrelation(t *testing.T) {
+	tr := telemetry.DefaultTracer()
+	tr.Reset()
+	tr.SetEnabled(true)
+	t.Cleanup(func() {
+		tr.SetEnabled(false)
+		tr.SetLogger(nil)
+		tr.Reset()
+	})
+
+	var logBuf bytes.Buffer
+	h := New(Config{AccessLog: &logBuf, Resolver: NewModelCache()}).Handler()
+
+	body := `{
+		"kind": "family-sweep",
+		"model": {"family": "reference"},
+		"gates": [0.45, 0.6],
+		"drains": [0, 0.3, 0.6]
+	}`
+	resp := decodeJob(t, post(t, h, body))
+	if len(resp.Family) != 2 || len(resp.Family[0].IDS) != 3 {
+		t.Fatalf("family shape wrong: %+v", resp.Family)
+	}
+
+	// The NDJSON stream carries access, job and span records; the job's
+	// trace ID must thread through all of them.
+	records := decodeNDJSON(t, logBuf.Bytes())
+	var access, job map[string]any
+	for _, rec := range records {
+		switch rec["event"] {
+		case telemetry.LogEventAccess:
+			if rec[telemetry.AttrPath] == "/v1/jobs" {
+				access = rec
+			}
+		case telemetry.LogEventJob:
+			job = rec
+		}
+	}
+	if access == nil || job == nil {
+		t.Fatalf("log stream missing access or job record:\n%s", logBuf.String())
+	}
+	trace, _ := access[telemetry.FieldTrace].(string)
+	if trace == "" {
+		t.Fatalf("access record has no trace ID: %v", access)
+	}
+	if got := job[telemetry.FieldTrace]; got != trace {
+		t.Fatalf("job record trace %v != access trace %q", got, trace)
+	}
+	if iters, ok := job[telemetry.AttrNewtonIters].(float64); !ok || iters < 1 {
+		t.Fatalf("job record missing Newton iterations: %v", job)
+	}
+	if _, ok := job[telemetry.AttrCacheHit].(bool); !ok {
+		t.Fatalf("job record missing cache_hit: %v", job)
+	}
+	if key, _ := job[telemetry.AttrModelKey].(string); !strings.HasPrefix(key, "reference/default/") {
+		t.Fatalf("job record model key %v, want reference/default/...", job[telemetry.AttrModelKey])
+	}
+
+	// /debug/trace serves the same trace's span tree, down to the
+	// charge-table build the first reference job paid for.
+	req := httptest.NewRequest(http.MethodGet, "/debug/trace", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("debug/trace: status %d", w.Code)
+	}
+	kinds := map[string]bool{}
+	for _, span := range decodeNDJSON(t, w.Body.Bytes()) {
+		if span[telemetry.FieldTrace] == trace {
+			kind, _ := span[telemetry.FieldKind].(string)
+			kinds[kind] = true
+		}
+	}
+	for _, want := range []string{
+		telemetry.SpanServerRequest,
+		telemetry.SpanEngineJob,
+		telemetry.SpanFettoyTableBuild,
+	} {
+		if !kinds[want] {
+			t.Fatalf("trace %s missing %q span; got kinds %v", trace, want, kinds)
+		}
+	}
+
+	// A second identical job reuses the cached model and says so.
+	logBuf.Reset()
+	decodeJob(t, post(t, h, body))
+	job = nil
+	for _, rec := range decodeNDJSON(t, logBuf.Bytes()) {
+		if rec["event"] == telemetry.LogEventJob {
+			job = rec
+		}
+	}
+	if job == nil {
+		t.Fatalf("second job logged nothing:\n%s", logBuf.String())
+	}
+	if hit, _ := job[telemetry.AttrCacheHit].(bool); !hit {
+		t.Fatalf("second job should be a cache hit: %v", job)
+	}
+}

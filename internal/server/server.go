@@ -15,8 +15,13 @@
 //   - the engine error taxonomy mapped onto HTTP statuses
 //     (ErrInvalidRequest→400, ErrCanceled→499, ErrNumerical→422);
 //   - graceful shutdown draining in-flight jobs; and
-//   - /healthz plus a /metrics telemetry snapshot, with the service's
-//     own work counted under the server.* keys.
+//   - request-scoped observability: every request runs under a
+//     telemetry span (the trace ID threads through engine → sweep →
+//     charge-table build), the NDJSON access and job logs carry that
+//     trace ID, /debug/trace serves the completed-span ring,
+//     /metrics serves Prometheus text exposition (latency and
+//     job-duration histograms included) and /metrics.json keeps the
+//     JSON snapshot the CLIs consume.
 package server
 
 import (
@@ -24,9 +29,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"cntfet/internal/engine"
@@ -57,6 +65,12 @@ type Config struct {
 	// Resolver resolves wire model descriptions. Nil means a fresh
 	// ModelCache; tests substitute fakes.
 	Resolver Resolver
+	// AccessLog, when set, receives the structured NDJSON access/job
+	// log: one "access" record per request, one "job" record per
+	// /v1/jobs request that reached the engine, and — when span
+	// tracing is enabled — one "span" record per completed span. All
+	// records of one request share a trace ID.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -81,32 +95,43 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP front-end. Create one with New; drive it with
 // ListenAndServe or Serve and stop it with Shutdown.
 type Server struct {
-	cfg  Config
-	sem  chan struct{}
-	http *http.Server
+	cfg   Config
+	sem   chan struct{}
+	http  *http.Server
+	log   *telemetry.Logger
+	start time.Time
 }
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+	}
+	if cfg.AccessLog != nil {
+		s.log = telemetry.NewLogger(cfg.AccessLog)
+		// Completed spans join the same NDJSON stream, so one file
+		// correlates access lines, job lines and the span tree.
+		telemetry.DefaultTracer().SetLogger(s.log)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
-	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics.json", handleMetricsJSON)
+	mux.HandleFunc("GET /debug/trace", handleDebugTrace)
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
-		Handler:           mux,
+		Handler:           s.observe(mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s
 }
 
-// Handler exposes the route table (handler-level tests go through it
-// without a listener).
+// Handler exposes the route table including the observability
+// middleware (handler-level tests go through it without a listener).
 func (s *Server) Handler() http.Handler { return s.http.Handler }
 
 // ListenAndServe serves on the configured address until Shutdown.
@@ -124,8 +149,50 @@ func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 // and its client gets the answer.
 func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
 
+// statusWriter captures the response status for the access log and
+// the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// observe is the observability middleware every route runs under: it
+// roots the request's span (when tracing is enabled), times the
+// exchange into the server.request_seconds histogram, and writes one
+// access-log record carrying the trace ID.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := telemetry.StartSpan(r.Context(), telemetry.SpanServerRequest)
+		rec := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		d := time.Since(start)
+		telemetry.Default().
+			Histogram(telemetry.KeyServerRequestSeconds, telemetry.LatencyBuckets).
+			Observe(d.Seconds())
+		span.Set(
+			telemetry.String(telemetry.AttrMethod, r.Method),
+			telemetry.String(telemetry.AttrPath, r.URL.Path),
+			telemetry.Int(telemetry.AttrStatus, int64(rec.status)),
+		)
+		span.End()
+		s.log.Log(telemetry.LogEventAccess,
+			telemetry.String(telemetry.FieldTrace, span.TraceID()),
+			telemetry.String(telemetry.AttrMethod, r.Method),
+			telemetry.String(telemetry.AttrPath, r.URL.Path),
+			telemetry.Int(telemetry.AttrStatus, int64(rec.status)),
+			telemetry.Dur(telemetry.FieldDurNS, d),
+		)
+	})
+}
+
 // handleJob is POST /v1/jobs: admission control, decode, resolve,
-// run, answer.
+// run, answer — all under the request span the middleware rooted.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	reg := telemetry.Default()
 	reg.Counter(telemetry.KeyServerRequests).Inc()
@@ -158,34 +225,72 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	req, err := jr.toEngine(s.cfg.Resolver)
-	if err != nil {
-		reg.Counter(telemetry.KeyServerErrors).Inc()
-		writeError(w, http.StatusBadRequest, "invalid-request", err)
-		return
-	}
-
 	// The job context is the request context — net/http cancels it on
-	// client disconnect — tightened by the per-request deadline.
+	// client disconnect — tightened by the per-request deadline. It is
+	// established before model resolution, so a cache-miss build is
+	// attributed to (and bounded by) the request that pays for it.
 	ctx := r.Context()
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
+	telemetry.SpanFrom(ctx).Set(telemetry.String(telemetry.AttrJobKind, jr.Kind))
+
+	req, meta, err := jr.toEngine(ctx, s.cfg.Resolver)
+	if err != nil {
+		reg.Counter(telemetry.KeyServerErrors).Inc()
+		writeError(w, http.StatusBadRequest, "invalid-request", err)
+		return
+	}
+	if meta.Resolved {
+		telemetry.SpanFrom(ctx).Set(
+			telemetry.String(telemetry.AttrModelKey, meta.ModelKey),
+			telemetry.Bool(telemetry.AttrCacheHit, meta.CacheHit),
+		)
+	}
 
 	res, err := engine.Run(ctx, req)
+	status := http.StatusOK
 	if err != nil {
-		status, class := statusOf(err)
+		var class string
+		status, class = statusOf(err)
 		if status == StatusClientClosedRequest {
 			reg.Counter(telemetry.KeyServerCanceled).Inc()
 		} else {
 			reg.Counter(telemetry.KeyServerErrors).Inc()
 		}
+		s.logJob(ctx, jr.Kind, meta, status, res)
 		writeError(w, status, class, err)
 		return
 	}
+	s.logJob(ctx, jr.Kind, meta, status, res)
 	writeJSON(w, http.StatusOK, toWire(jr.Kind, res))
+}
+
+// logJob writes the per-job NDJSON record: one line per job that
+// reached the engine, sharing the access log's trace ID and carrying
+// the job's cost attribution (duration, Newton iterations, sweep
+// points, model identity and cache outcome).
+func (s *Server) logJob(ctx context.Context, kind string, meta resolveMeta, status int, res engine.Result) {
+	if s.log == nil {
+		return
+	}
+	fields := []telemetry.Field{
+		telemetry.String(telemetry.FieldTrace, telemetry.TraceIDFrom(ctx)),
+		telemetry.String(telemetry.AttrJobKind, kind),
+		telemetry.Int(telemetry.AttrStatus, int64(status)),
+		telemetry.Dur(telemetry.FieldDurNS, res.Elapsed),
+		telemetry.Int(telemetry.AttrNewtonIters, res.Metrics[telemetry.KeyFettoyNewtonIters]),
+		telemetry.Int(telemetry.AttrPoints, res.Metrics[telemetry.KeySweepPoints]),
+	}
+	if meta.Resolved {
+		fields = append(fields,
+			telemetry.String(telemetry.AttrModelKey, meta.ModelKey),
+			telemetry.Bool(telemetry.AttrCacheHit, meta.CacheHit),
+		)
+	}
+	s.log.Log(telemetry.LogEventJob, fields...)
 }
 
 // statusOf maps the engine error taxonomy onto HTTP statuses via
@@ -203,16 +308,83 @@ func statusOf(err error) (status int, class string) {
 	return http.StatusInternalServerError, "internal"
 }
 
-func handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// Health is the GET /healthz response body: enough build and load
+// identity to tell replicas apart in a fleet.
+type Health struct {
+	Status string `json:"status"`
+	// GoVersion is the runtime's version; Revision the VCS commit the
+	// binary was built from (with "+dirty" for modified trees), empty
+	// when build info carries none (go test binaries).
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	// UptimeSeconds counts from Server construction.
+	UptimeSeconds float64 `json:"uptime_s"`
+	// InFlight and MaxInFlight describe current job-slot occupancy.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
 }
 
-// handleMetrics serves the process-wide telemetry snapshot — the same
-// counters the CLIs print with -metrics, plus the server.* keys.
+// buildRevision resolves the VCS revision once per process.
+var buildRevision = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && rev != "" {
+		rev += "+dirty"
+	}
+	return rev
+})
+
+// handleHealthz reports liveness plus build info, uptime and in-flight
+// job count — what a fleet scheduler or a human needs to identify a
+// replica, instead of the former bare 200.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      len(s.sem),
+		MaxInFlight:   cap(s.sem),
+	})
+}
+
+// handleMetrics serves the process-wide telemetry snapshot in
+// Prometheus text exposition format — counters as *_total, timers as
+// summaries, histograms (request latency, job duration, Newton
+// iterations per solve) with declared buckets.
 func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	if err := telemetry.Default().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetricsJSON keeps the pre-Prometheus JSON snapshot — the
+// format the CLIs print with -metrics — available to existing tooling.
+func handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := telemetry.Default().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleDebugTrace serves the bounded ring of completed spans as
+// NDJSON, newest last — the server-side twin of the CLIs' -trace
+// output. Empty (with tracing disabled) is a valid response.
+func handleDebugTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := telemetry.DefaultTracer().WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -197,7 +197,9 @@ func (b *blockingSolver) IDS(bias fettoy.Bias) (float64, error) {
 
 type fakeResolver struct{ m device.Solver }
 
-func (f fakeResolver) Resolve(ModelSpec) (device.Solver, error) { return f.m, nil }
+func (f fakeResolver) Resolve(context.Context, ModelSpec) (device.Solver, bool, error) {
+	return f.m, false, nil
+}
 
 // sweepBody is a family-sweep request big enough to stay in flight
 // while a test interferes with it (800 points x delay).
@@ -410,31 +412,69 @@ func TestModelCacheReuse(t *testing.T) {
 	}
 }
 
-// TestHealthAndMetrics checks the operational endpoints.
+// TestHealthAndMetrics checks the operational endpoints: /healthz
+// serves build and load identity, /metrics serves valid Prometheus
+// text exposition with the request-latency histogram, /metrics.json
+// keeps the JSON snapshot for the CLIs.
 func TestHealthAndMetrics(t *testing.T) {
 	h := New(Config{}).Handler()
 
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
-	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+	if w.Code != http.StatusOK {
 		t.Fatalf("healthz: %d %q", w.Code, w.Body)
 	}
+	var hz Health
+	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
+		t.Fatalf("healthz not JSON: %v: %s", err, w.Body)
+	}
+	if hz.Status != "ok" || hz.GoVersion != runtime.Version() || hz.MaxInFlight < 1 {
+		t.Fatalf("healthz fields wrong: %+v", hz)
+	}
+	if hz.UptimeSeconds < 0 || hz.InFlight != 0 {
+		t.Fatalf("healthz load fields wrong: %+v", hz)
+	}
 
-	// One job first, so the snapshot carries server.* counters.
+	// One job first, so the exposition carries server.* counters and
+	// the middleware has observed at least one request latency.
 	post(t, h, `{"kind": "iv-point", "model": {"family": "model2"}, "vg": 0.5, "vd": 0.4}`)
+
 	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
 	w = httptest.NewRecorder()
 	h.ServeHTTP(w, req)
 	if w.Code != http.StatusOK {
 		t.Fatalf("metrics: status %d", w.Code)
 	}
+	if ct := w.Header().Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Fatalf("metrics content type %q, want %q", ct, telemetry.PromContentType)
+	}
+	body := w.Body.String()
+	if err := telemetry.ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("metrics not valid Prometheus exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"cntfet_server_requests_total",
+		"cntfet_server_request_seconds_bucket",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics.json", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics.json: status %d", w.Code)
+	}
 	var snap telemetry.Snapshot
 	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
-		t.Fatalf("metrics not a snapshot: %v", err)
+		t.Fatalf("metrics.json not a snapshot: %v", err)
 	}
 	if snap.Counters[telemetry.KeyServerRequests] < 1 {
-		t.Fatalf("metrics snapshot missing server.requests: %v", snap.Counters)
+		t.Fatalf("metrics.json snapshot missing server.requests: %v", snap.Counters)
 	}
 }
 

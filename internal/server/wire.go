@@ -8,6 +8,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -165,21 +166,33 @@ var strategies = map[string]engine.Strategy{
 	"parallel": engine.Parallel,
 }
 
+// resolveMeta describes how the request's primary model resolved —
+// the cache identity and outcome the job log and request span report.
+// Resolved is false for kinds that never touch the cache (MonteCarlo
+// fits per-sample models from raw device parameters).
+type resolveMeta struct {
+	ModelKey string
+	CacheHit bool
+	Resolved bool
+}
+
 // toEngine resolves the wire request into an engine.Request, looking
-// models up through the resolver. Every error it returns is a
-// client-side problem (the server maps them to HTTP 400).
-func (jr JobRequest) toEngine(res Resolver) (engine.Request, error) {
+// models up through the resolver under the job's context. Every error
+// it returns is a client-side problem (the server maps them to HTTP
+// 400).
+func (jr JobRequest) toEngine(ctx context.Context, res Resolver) (engine.Request, resolveMeta, error) {
+	var meta resolveMeta
 	kind, ok := kinds[jr.Kind]
 	if !ok {
 		known := make([]string, 0, len(kinds))
 		for k := range kinds {
 			known = append(known, k)
 		}
-		return engine.Request{}, fmt.Errorf("unknown kind %q (want one of %s)",
+		return engine.Request{}, meta, fmt.Errorf("unknown kind %q (want one of %s)",
 			jr.Kind, strings.Join(known, ", "))
 	}
 	if jr.Model == nil {
-		return engine.Request{}, fmt.Errorf("%s needs a model", jr.Kind)
+		return engine.Request{}, meta, fmt.Errorf("%s needs a model", jr.Kind)
 	}
 	req := engine.Request{
 		Kind:    kind,
@@ -194,7 +207,7 @@ func (jr JobRequest) toEngine(res Resolver) (engine.Request, error) {
 	}
 	st, ok := strategies[jr.Strategy]
 	if !ok {
-		return engine.Request{}, fmt.Errorf("unknown strategy %q (want auto, serial, batch or parallel)", jr.Strategy)
+		return engine.Request{}, meta, fmt.Errorf("unknown strategy %q (want auto, serial, batch or parallel)", jr.Strategy)
 	}
 	req.Strategy = st
 
@@ -203,36 +216,37 @@ func (jr JobRequest) toEngine(res Resolver) (engine.Request, error) {
 		// parameters travel.
 		dev, err := jr.Model.device()
 		if err != nil {
-			return engine.Request{}, fmt.Errorf("model: %w", err)
+			return engine.Request{}, meta, fmt.Errorf("model: %w", err)
 		}
 		req.Device = dev
-		return req, nil
+		return req, meta, nil
 	}
 
-	m, err := res.Resolve(*jr.Model)
+	m, cached, err := res.Resolve(ctx, *jr.Model)
 	if err != nil {
-		return engine.Request{}, fmt.Errorf("model: %w", err)
+		return engine.Request{}, meta, fmt.Errorf("model: %w", err)
 	}
 	req.Model = m
+	meta = resolveMeta{ModelKey: jr.Model.Key(), CacheHit: cached, Resolved: true}
 
 	if kind == engine.RMSCompare {
 		if jr.Ref != nil && jr.RefFamily != nil {
-			return engine.Request{}, fmt.Errorf("%s takes ref or ref_family, not both", jr.Kind)
+			return engine.Request{}, meta, fmt.Errorf("%s takes ref or ref_family, not both", jr.Kind)
 		}
 		switch {
 		case jr.Ref != nil:
-			ref, err := res.Resolve(*jr.Ref)
+			ref, _, err := res.Resolve(ctx, *jr.Ref)
 			if err != nil {
-				return engine.Request{}, fmt.Errorf("ref: %w", err)
+				return engine.Request{}, meta, fmt.Errorf("ref: %w", err)
 			}
 			req.Ref = ref
 		case jr.RefFamily != nil:
 			req.RefFamily = curvesFromWire(jr.RefFamily)
 		default:
-			return engine.Request{}, fmt.Errorf("%s needs ref or ref_family", jr.Kind)
+			return engine.Request{}, meta, fmt.Errorf("%s needs ref or ref_family", jr.Kind)
 		}
 	}
-	return req, nil
+	return req, meta, nil
 }
 
 // OperatingPoint is the wire form of a solved bias point: the

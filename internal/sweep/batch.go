@@ -33,9 +33,21 @@ func FamilyBatch(ctx context.Context, m device.Solver, vgs, vds []float64) ([]Cu
 		for j, vd := range vds {
 			bias[j] = fettoy.Bias{VG: vg, VD: vd}
 		}
-		if err := bm.IDSBatch(bias, out[i].IDS); err != nil {
+		// One span per VDS row — the batched path's scheduling unit —
+		// so a traced job shows where its row time went. Nil (free)
+		// while tracing is off.
+		_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepRow)
+		err := bm.IDSBatch(bias, out[i].IDS)
+		sp.Set(
+			telemetry.Float(telemetry.AttrVG, vg),
+			telemetry.Int(telemetry.AttrPoints, int64(len(vds))),
+		)
+		if err != nil {
+			sp.Set(telemetry.String(telemetry.AttrError, err.Error()))
+			sp.End()
 			return nil, fmt.Errorf("sweep: VG=%g: %w", vg, err)
 		}
+		sp.End()
 	}
 	countPoints(telemetry.Default(), false, -1, int64(len(vgs)*len(vds)), 0)
 	return out, nil

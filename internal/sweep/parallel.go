@@ -100,12 +100,19 @@ func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, wo
 			defer func() { countPoints(reg, on, w, points, errs) }()
 		drain:
 			for ck := range tasks {
+				// One span per chunk — the scheduler's work unit — keeps
+				// tracing cost off the per-point path while still showing
+				// which worker ran which run of points. Nil (free) while
+				// tracing is off.
+				_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepChunk)
+				chunkPoints := points
 				guess := math.NaN()
 				for vi := ck.lo; vi < ck.hi; vi++ {
 					select {
 					case <-done:
 						// The tasks channel is pre-filled and closed, so
 						// abandoning the range leaves no blocked sender.
+						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
 						break drain
 					default:
 					}
@@ -128,6 +135,7 @@ func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, wo
 					points++
 					out[ck.gi].IDS[vi] = ids
 				}
+				endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
 			}
 		}(w)
 	}

@@ -26,6 +26,22 @@ func countPoints(reg *telemetry.Registry, gateOn bool, worker int, points, errs 
 	}
 }
 
+// endChunkSpan finishes one parallel-sweep chunk span with its worker
+// attribution. points is the number of bias points the chunk actually
+// completed (a canceled chunk reports the prefix it finished). A nil
+// span — tracing off — makes this free.
+func endChunkSpan(sp *telemetry.Span, worker int, vg float64, points int64) {
+	if sp == nil {
+		return
+	}
+	sp.Set(
+		telemetry.Int(telemetry.AttrWorker, int64(worker)),
+		telemetry.Float(telemetry.AttrVG, vg),
+		telemetry.Int(telemetry.AttrPoints, points),
+	)
+	sp.End()
+}
+
 // canceledErr wraps the context's error so engine-level callers can
 // classify the failure as a user abort (errors.Is against
 // context.Canceled / context.DeadlineExceeded keeps working) rather

@@ -122,6 +122,106 @@ const (
 	KeyServerCacheMisses = "server.cache.misses"
 )
 
+// Counter and histogram keys of the engine job layer. The jobs
+// counter and the duration histogram are recorded once per engine.Run,
+// so the Prometheus exposition carries job-rate and job-latency series
+// without per-front-end instrumentation.
+const (
+	// KeyEngineJobs counts engine.Run invocations (all kinds, success
+	// and failure).
+	KeyEngineJobs = "engine.jobs"
+	// KeyEngineJobSeconds buckets per-job wall-clock duration in
+	// seconds (LatencyBuckets).
+	KeyEngineJobSeconds = "engine.job_seconds"
+)
+
+// Histogram key of the HTTP front-end request latency (seconds,
+// LatencyBuckets), observed once per request by the server's
+// observability middleware.
+const KeyServerRequestSeconds = "server.request_seconds"
+
+// Span kinds (Tracer.StartSpan). Like trace kinds, spans describe ONE
+// operation and use singular stems; the tree they form — request →
+// job → chunk/row → table build — is the request-scoped view of the
+// same work the plural counters aggregate process-wide.
+const (
+	// SpanServerRequest covers one HTTP request end to end (minted by
+	// the server middleware; the root of a request's trace).
+	SpanServerRequest = "server.request"
+	// SpanServerModelBuild covers one model-cache miss: reference
+	// construction plus charge-table attach, or a piecewise fit.
+	SpanServerModelBuild = "server.model_build"
+	// SpanEngineJob covers one engine.Run job; its Metrics carry the
+	// job's telemetry counter deltas.
+	SpanEngineJob = "engine.job"
+	// SpanSweepChunk covers one scheduled chunk of a parallel family
+	// sweep (one worker, one run of neighbouring VDS points).
+	SpanSweepChunk = "sweep.chunk"
+	// SpanSweepRow covers one VDS row of a batched family sweep.
+	SpanSweepRow = "sweep.row"
+	// SpanFettoyTableBuild covers one adaptive charge-table build.
+	SpanFettoyTableBuild = "fettoy.table_build"
+)
+
+// Structured-log field names: the trace-correlation envelope shared by
+// span records, the access log and the job log.
+const (
+	// FieldTrace is the request's trace ID — the join key between the
+	// access log, the job log and /debug/trace spans.
+	FieldTrace = "trace"
+	// FieldSpan and FieldParent are the span's own and parent IDs.
+	FieldSpan   = "span"
+	FieldParent = "parent"
+	// FieldKind is the span kind of a span record.
+	FieldKind = "kind"
+	// FieldDurNS is a duration in integer nanoseconds.
+	FieldDurNS = "dur_ns"
+)
+
+// Span attribute and structured-log field names carrying request
+// payload facts: what was asked for and what it cost.
+const (
+	// AttrJobKind is the engine job kind ("family-sweep", ...).
+	AttrJobKind = "job_kind"
+	// AttrMethod, AttrPath and AttrStatus describe one HTTP exchange.
+	AttrMethod = "method"
+	AttrPath   = "path"
+	AttrStatus = "status"
+	// AttrModelKey names the resolved model: family/preset/T/EF.
+	AttrModelKey = "model_key"
+	// AttrCacheHit reports whether the model cache served the request
+	// without a build.
+	AttrCacheHit = "cache_hit"
+	// AttrGates and AttrDrains are the sweep grid dimensions.
+	AttrGates  = "gates"
+	AttrDrains = "drains"
+	// AttrPoints counts bias points a span evaluated.
+	AttrPoints = "points"
+	// AttrWorker is the parallel-sweep worker index of a chunk span.
+	AttrWorker = "worker"
+	// AttrVG is the gate voltage of a sweep row/chunk span, in volts.
+	AttrVG = "vg"
+	// AttrNewtonIters counts Newton iterations attributed to a span.
+	AttrNewtonIters = "newton_iters"
+	// AttrTableNodes is the adaptive grid size of a table-build span.
+	AttrTableNodes = "table_nodes"
+	// AttrError carries a span's failure message.
+	AttrError = "error"
+)
+
+// Structured-log event names (Logger.Log).
+const (
+	// LogEventAccess is one access-log record: method, path, status,
+	// duration, trace ID. Written once per HTTP request.
+	LogEventAccess = "access"
+	// LogEventJob is one job-log record: job kind, status, duration,
+	// Newton iterations, cache hit, trace ID. Written once per
+	// /v1/jobs request that reached the engine.
+	LogEventJob = "job"
+	// LogEventSpan is one completed span, flattened (see spanFields).
+	LogEventSpan = "span"
+)
+
 // Trace event kinds (Trace.Emit). Kinds are singular: one event per
 // occurrence; see the naming conventions above for how they pair with
 // the plural counters.
