@@ -1,12 +1,17 @@
 GO ?= go
+# GATE_THRESHOLD is the fractional points/sec regression make benchgate
+# tolerates before failing (0.15 = 15%). CI overrides it upward to ride
+# out shared-runner noise.
+GATE_THRESHOLD ?= 0.15
 
-.PHONY: check lint vet build test race bench benchsmoke servesmoke
+.PHONY: check lint vet build test race bench benchgate benchsmoke scalebench servesmoke
 
-## check: the tier-1 gate — vet + cntlint, build, race-enabled tests,
-## a build-only smoke of the sweep benchmark (tiny grid, no timing
-## assertion: timing under a loaded CI machine is noise), and the
-## sweep-service smoke.
-check: lint build race benchsmoke servesmoke
+## check: the tier-1 gate — vet + cntlint, build, plain tests (the
+## zero-alloc kernel guards only assert outside -race), race-enabled
+## tests, a build-only smoke of the sweep benchmark (tiny grid, no
+## timing assertion: timing under a loaded CI machine is noise), and
+## the sweep-service smoke.
+check: lint build test race benchsmoke servesmoke
 
 ## lint: go vet plus the project analyzer suite (cmd/cntlint):
 ## telemetry key registry, context propagation, float comparisons,
@@ -33,6 +38,22 @@ race:
 bench:
 	$(GO) test -bench=IDSTelemetry -benchmem ./internal/core/
 	$(GO) run ./cmd/cntbench -sweepbench -assert-faster -out BENCH_sweep.json
+
+## benchgate: the perf-regression gate — re-runs the sweep benchmark
+## (with an untimed warm-up pass baked into the tool) and compares
+## points/sec of the batched and closed-form serving paths against the
+## checked-in BENCH_sweep.json baseline, failing when either regresses
+## more than GATE_THRESHOLD. The fresh run lands in BENCH_gate.json
+## (gitignored). Refresh the baseline by running make bench on the
+## machine that owns it.
+benchgate:
+	$(GO) run ./cmd/cntbench -sweepbench -gate BENCH_sweep.json -gate-threshold $(GATE_THRESHOLD) -out BENCH_gate.json
+
+## scalebench: the 1->N worker scaling curve for both model families
+## (points/sec, efficiency, counter deltas per worker count). Writes
+## BENCH_scale.json at the repo root.
+scalebench:
+	$(GO) run ./cmd/cntbench -scalebench -out BENCH_scale.json
 
 benchsmoke:
 	$(GO) run ./cmd/cntbench -sweepbench -points 9 -repeats 1 -out /dev/null

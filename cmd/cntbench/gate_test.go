@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func docWith(batched, closed float64) sweepBenchDoc {
+	var d sweepBenchDoc
+	d.Batched.PointsPerSec = batched
+	d.ClosedForm.PointsPerSec = closed
+	return d
+}
+
+// TestCheckGate pins the regression-gate arithmetic: a serving path
+// may lose up to the threshold fraction of points/sec before the gate
+// fails, paths missing from the baseline are skipped, and the legacy
+// path is never gated.
+func TestCheckGate(t *testing.T) {
+	base := docWith(1000, 5000)
+	cases := []struct {
+		name     string
+		cur      sweepBenchDoc
+		wantFail string // substring of the error, "" = pass
+	}{
+		{"identical", docWith(1000, 5000), ""},
+		{"faster", docWith(2000, 9000), ""},
+		{"within threshold", docWith(860, 4300), ""},
+		{"batched regressed", docWith(840, 5000), "batched"},
+		{"closed-form regressed", docWith(1000, 4200), "closed_form"},
+	}
+	for _, c := range cases {
+		err := checkGate(c.cur, base, 0.15)
+		if c.wantFail == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected gate failure: %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantFail) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.wantFail)
+		}
+	}
+
+	// A baseline predating the closed-form path (zero points/sec there)
+	// must not fail a current run that has one.
+	old := docWith(1000, 0)
+	if err := checkGate(docWith(1000, 4000), old, 0.15); err != nil {
+		t.Errorf("schema-growth baseline failed the gate: %v", err)
+	}
+
+	// A non-positive threshold falls back to the 15% default.
+	if err := checkGate(docWith(840, 5000), base, 0); err == nil {
+		t.Error("default threshold did not catch a 16% regression")
+	}
+	if err := checkGate(docWith(860, 5000), base, 0); err != nil {
+		t.Errorf("default threshold rejected a within-15%% run: %v", err)
+	}
+}

@@ -46,18 +46,33 @@ func main() {
 	points := flag.Int("points", 61, "VDS points per curve")
 	metrics := flag.Bool("metrics", false, "emit JSON with timing table and solver-work counters")
 	traceFile := flag.String("trace", "", "write reference-solve event log (JSON lines) to this file")
-	sweepBench := flag.Bool("sweepbench", false, "run the legacy-vs-batched sweep engine comparison instead of Table I")
-	out := flag.String("out", "BENCH_sweep.json", "sweepbench: output file (- for stdout)")
-	repeats := flag.Int("repeats", 5, "sweepbench: timed repetitions per path")
+	sweepBench := flag.Bool("sweepbench", false, "run the legacy/batched/closed-form sweep engine comparison instead of Table I")
+	out := flag.String("out", "BENCH_sweep.json", "sweepbench/scalebench: output file (- for stdout)")
+	repeats := flag.Int("repeats", 5, "sweepbench/scalebench: timed repetitions per path")
 	workers := flag.Int("workers", 0, "sweepbench: sweep workers (0 = GOMAXPROCS)")
 	assertFaster := flag.Bool("assert-faster", false, "sweepbench: exit non-zero if the batched path is slower")
+	gate := flag.String("gate", "", "sweepbench: baseline BENCH_sweep.json to gate points/sec against (empty = no gate)")
+	gateThreshold := flag.Float64("gate-threshold", 0.15, "sweepbench: allowed fractional points/sec regression vs the -gate baseline")
+	scaleBench := flag.Bool("scalebench", false, "run the 1->N worker scaling curve for both families instead of Table I")
+	scaleWorkers := flag.String("scale-workers", "", "scalebench: comma-separated worker counts (empty = 1..2*GOMAXPROCS powers of two)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *sweepBench {
-		if err := runSweepBench(*points, *repeats, *workers, *out, *assertFaster); err != nil {
+		if err := runSweepBench(*points, *repeats, *workers, *out, *assertFaster, *gate, *gateThreshold); err != nil {
+			fmt.Fprintln(os.Stderr, "cntbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleBench {
+		outPath := *out
+		if outPath == "BENCH_sweep.json" {
+			outPath = "BENCH_scale.json" // scalebench's own default artifact
+		}
+		if err := runScaleBench(*points, *repeats, *scaleWorkers, outPath); err != nil {
 			fmt.Fprintln(os.Stderr, "cntbench:", err)
 			os.Exit(1)
 		}

@@ -57,7 +57,7 @@ func TestRunSweepBenchJSON(t *testing.T) {
 	}
 	defer telemetry.Disable()
 	out := t.TempDir() + "/BENCH_sweep.json"
-	if err := runSweepBench(13, 1, 2, out, false); err != nil {
+	if err := runSweepBench(13, 1, 2, out, false, "", 0.15); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -97,6 +97,51 @@ func TestRunSweepBenchJSON(t *testing.T) {
 	// Accuracy cross-check: the two engines agree to well under 0.1%.
 	if doc.MaxRMSPercent >= 0.1 {
 		t.Fatalf("paths disagree: max RMS %g%%", doc.MaxRMSPercent)
+	}
+
+	// The closed-form serving path: real timing, the full grid, zero
+	// reference-model work (no Newton iterations, no quadrature), and
+	// accuracy inside the paper's few-percent envelope.
+	cf := doc.ClosedForm
+	if cf.Seconds <= 0 || cf.PointsPerSec <= 0 || cf.Workers != 2 {
+		t.Fatalf("degenerate closed-form timing: %+v", cf)
+	}
+	if cf.Counters["sweep.points"] != wantPoints {
+		t.Fatalf("closed-form sweep.points = %d, want %d", cf.Counters["sweep.points"], wantPoints)
+	}
+	if cf.Counters["fettoy.newton_iters"] != 0 || cf.Counters["fettoy.integral_evals"] != 0 {
+		t.Fatalf("closed-form path did reference work: %v", cf.Counters)
+	}
+	if cf.Counters["core.solves"] != wantPoints {
+		t.Fatalf("core.solves = %d, want %d", cf.Counters["core.solves"], wantPoints)
+	}
+	// Worst-gate bound matching the repo's Model 1 envelope (10% per
+	// gate — the subthreshold curves dominate; on-state gates sit at a
+	// few percent, see core_test.go).
+	if doc.ClosedFormMaxRMSPercent <= 0 || doc.ClosedFormMaxRMSPercent >= 10 {
+		t.Fatalf("closed-form accuracy out of envelope: %g%%", doc.ClosedFormMaxRMSPercent)
+	}
+	if doc.GOMAXPROCS <= 0 || doc.Batched.PerWorkerPointsPerSec <= 0 {
+		t.Fatalf("parallelism metadata missing: %+v", doc)
+	}
+
+	// Gating against the run's own output must pass; a baseline with an
+	// unreachable throughput floor must fail.
+	if err := runSweepBench(13, 1, 2, t.TempDir()+"/gate.json", false, out, 0.60); err != nil {
+		t.Fatalf("self-gate failed: %v", err)
+	}
+	inflated := doc
+	inflated.Batched.PointsPerSec *= 1e6
+	hot, err := os.CreateTemp(t.TempDir(), "hot*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(hot).Encode(inflated); err != nil {
+		t.Fatal(err)
+	}
+	hot.Close()
+	if err := runSweepBench(13, 1, 2, t.TempDir()+"/gate2.json", false, hot.Name(), 0.15); err == nil {
+		t.Fatal("gate passed against an impossible baseline")
 	}
 }
 
@@ -149,5 +194,70 @@ func TestRunMetricsJSON(t *testing.T) {
 	}
 	if dispatch <= 0 {
 		t.Fatalf("no region-dispatch counts in %v", doc.Counters)
+	}
+}
+
+// TestRunScaleBenchJSON checks the BENCH_scale.json schema: one curve
+// per family over the requested worker ladder, sane efficiency
+// normalisation, and the expected per-family work fingerprints.
+func TestRunScaleBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	defer telemetry.Disable()
+	out := t.TempDir() + "/BENCH_scale.json"
+	if err := runScaleBench(13, 1, "1,2", out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc scaleBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not one JSON document: %v\n%s", err, raw)
+	}
+	if doc.Gates != 7 || doc.Points != 13 || doc.GOMAXPROCS <= 0 {
+		t.Fatalf("grid metadata: %+v", doc)
+	}
+	if len(doc.WorkerCounts) != 2 || doc.WorkerCounts[0] != 1 || doc.WorkerCounts[1] != 2 {
+		t.Fatalf("worker ladder: %v", doc.WorkerCounts)
+	}
+	if len(doc.Families) != 2 || doc.Families[0].Family != "reference" || doc.Families[1].Family != "model1" {
+		t.Fatalf("families: %+v", doc.Families)
+	}
+	wantPoints := int64(doc.Gates * doc.Points)
+	for _, curve := range doc.Families {
+		if len(curve.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", curve.Family, len(curve.Points))
+		}
+		for i, pt := range curve.Points {
+			if pt.Seconds <= 0 || pt.PointsPerSec <= 0 {
+				t.Fatalf("%s[%d]: degenerate timing: %+v", curve.Family, i, pt)
+			}
+			if pt.Counters["sweep.points"] != wantPoints {
+				t.Fatalf("%s[%d]: sweep.points = %d, want %d",
+					curve.Family, i, pt.Counters["sweep.points"], wantPoints)
+			}
+			if pt.Efficiency <= 0 {
+				t.Fatalf("%s[%d]: efficiency not normalised: %+v", curve.Family, i, pt)
+			}
+		}
+		if e := curve.Points[0].Efficiency; e != 1 {
+			t.Fatalf("%s: single-worker efficiency = %g, want 1", curve.Family, e)
+		}
+	}
+	// Family fingerprints: the reference serves from its table, the
+	// closed-form family does no reference work at all.
+	refPt := doc.Families[0].Points[0]
+	if refPt.Counters["fettoy.table.hits"] == 0 {
+		t.Fatalf("reference family not table-backed: %v", refPt.Counters)
+	}
+	m1Pt := doc.Families[1].Points[0]
+	if m1Pt.Counters["fettoy.newton_iters"] != 0 || m1Pt.Counters["fettoy.integral_evals"] != 0 {
+		t.Fatalf("model1 family did reference work: %v", m1Pt.Counters)
+	}
+	if m1Pt.Counters["core.solves"] != wantPoints {
+		t.Fatalf("model1 core.solves = %d, want %d", m1Pt.Counters["core.solves"], wantPoints)
 	}
 }

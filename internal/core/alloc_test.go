@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"cntfet/internal/fettoy"
+	"cntfet/internal/telemetry"
+)
+
+// TestIDSBatchZeroAlloc pins the serving kernel's allocation budget:
+// one full VDS row through IDSBatch must not allocate, for both paper
+// models, with telemetry off and on (local counter accumulation plus
+// one atomic flush — no per-point instrument traffic). Skipped under
+// -race, whose instrumentation allocates.
+func TestIDSBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	ref := refModel(t, fettoy.Default())
+	for name, build := range map[string]func(*fettoy.Model) (*Model, error){
+		"model1": Model1,
+		"model2": Model2,
+	} {
+		m, err := build(ref)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// A full paper row plus a partial trailing block, so both the
+		// whole-block and remainder paths run.
+		bias := make([]fettoy.Bias, 100)
+		out := make([]float64, len(bias))
+		for i := range bias {
+			bias[i] = fettoy.Bias{VG: 0.5, VD: 0.6 * float64(i) / float64(len(bias)-1)}
+		}
+		for _, gate := range []bool{false, true} {
+			if gate {
+				telemetry.Enable()
+			} else {
+				telemetry.Disable()
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if err := m.IDSBatch(bias, out); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("%s (telemetry=%v): IDSBatch allocates %.1f objects per row", name, gate, avg)
+			}
+		}
+		telemetry.Disable()
+	}
+}

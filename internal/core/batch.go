@@ -17,26 +17,68 @@ func (m *Model) IDSFrom(b fettoy.Bias, _ float64) (ids, vsc float64, err error) 
 	return m.CurrentAtVSC(vsc, b), vsc, nil
 }
 
+// batchBlock is the stride of the row kernel: points are processed in
+// blocks of this many, with the solved VSC values parked in a stack
+// buffer between the solve loop and the current loop. 64 keeps the
+// buffer (512 B) comfortably on the stack while the two tight loops
+// each run long enough to amortise their setup.
+const batchBlock = 64
+
 // IDSBatch evaluates one current per bias into out (which must be at
 // least as long as bias), implementing the sweep package's batch
-// interface. The loop drives the stack-allocated fast solver directly,
-// so the per-point cost is the closed-form arithmetic itself — no
-// interface dispatch or per-point error wrapping. The telemetry gate
-// is hoisted out of the loop; region-dispatch counts are preserved.
+// interface. It is the closed-form serving kernel and allocates
+// nothing (testing.AllocsPerRun == 0, telemetry on or off):
+//
+//   - Region dispatch is hoisted out of the inner loop: the scan
+//     cursor that locates the root's piecewise segment is carried from
+//     point to point, so runs of neighbouring points that share a
+//     segment pay two residual sign checks instead of a full
+//     breakpoint scan (see solveVSCRow).
+//   - Each block runs two tight loops over contiguous slices: one
+//     evaluating the segment polynomials' closed-form roots into a
+//     stack buffer, one turning the solved voltages into currents.
+//   - Telemetry is accumulated in local counters and flushed with one
+//     atomic add per touched instrument after the batch; the inner
+//     loop carries no shared-counter traffic at all.
+//
+// Counter totals (core.solves, core.dispatch.*, core.fallback_generic)
+// are identical to the per-point path's.
 func (m *Model) IDSBatch(bias []fettoy.Bias, out []float64) error {
-	on := telemetry.On()
-	for i, b := range bias {
-		v, branch, ok := m.solveVSCFast(m.ulEff(b), b.VD-b.VS)
-		if on {
-			countDispatch(branch, ok)
+	var counts [dispatchCount]int64
+	var solves, fallbacks int64
+	var vscBuf [batchBlock]float64
+	cursor := -1 // no segment hint yet: first point pays the cold scan
+	for base := 0; base < len(bias); base += batchBlock {
+		end := base + batchBlock
+		if end > len(bias) {
+			end = len(bias)
 		}
-		if !ok {
-			var err error
-			if v, err = m.solveVSCGeneric(b); err != nil {
-				return err
+		blk := bias[base:end]
+		// Solve loop: closed-form roots only, currents deferred.
+		for i, b := range blk {
+			v, branch, ok := m.solveVSCRow(m.ulEff(b), b.VD-b.VS, &cursor)
+			solves++
+			counts[branch]++
+			if !ok {
+				fallbacks++
+				var err error
+				if v, err = m.solveVSCGeneric(b); err != nil {
+					if telemetry.On() {
+						flushDispatch(&counts, solves, fallbacks)
+					}
+					return err
+				}
 			}
+			vscBuf[i] = v
 		}
-		out[i] = m.CurrentAtVSC(v, b)
+		// Current loop: the Fermi-integral evaluation over the solved
+		// slice, contiguous reads from the stack buffer.
+		for i, b := range blk {
+			out[base+i] = m.CurrentAtVSC(vscBuf[i], b)
+		}
+	}
+	if telemetry.On() {
+		flushDispatch(&counts, solves, fallbacks)
 	}
 	return nil
 }

@@ -73,50 +73,139 @@ func (c cubic) shifted(h float64) cubic {
 // two small stack arrays. F is strictly increasing (CΣ plus a positive
 // quantum-capacitance term), so the sign of F at the merged breakpoints
 // brackets the root into exactly one region, where the closed-form
-// root of the region's polynomial applies (paper section V).
+// root of the region's polynomial applies (paper section V). It is the
+// cold-cursor case of the row kernel below.
 func (m *Model) solveVSCFast(ul, vds float64) (float64, int, bool) {
-	// Merged breakpoints: QS(V) changes pieces at b_i, QS(V+vds) at
-	// b_i - vds. The paper's models have <= 3 breaks; custom specs up
-	// to 8 breaks still fit the stack buffer, beyond that the caller
-	// falls back to the generic path. Insertion sort beats
-	// sort.Float64s at this size and does not escape.
+	cursor := -1
+	return m.solveVSCRow(ul, vds, &cursor)
+}
+
+// mergeBreaks writes the ascending merge of the model's breakpoints
+// b_i (where QS(V) changes pieces) and b_i - vds (where QS(V+vds)
+// does) into cand. Both inputs are already sorted, so a two-pointer
+// merge does it in one pass; the candidate multiset — and therefore
+// every decision downstream — is identical to sorting the interleaved
+// pairs.
+func (m *Model) mergeBreaks(vds float64, cand *[16]float64) int {
+	breaks := m.fastBreaks
+	i, j, k := 0, 0, 0
+	for i < len(breaks) && j < len(breaks) {
+		if a, b := breaks[i], breaks[j]-vds; a <= b {
+			cand[k] = a
+			i++
+		} else {
+			cand[k] = b
+			j++
+		}
+		k++
+	}
+	for ; i < len(breaks); i++ {
+		cand[k] = breaks[i]
+		k++
+	}
+	for ; j < len(breaks); j++ {
+		cand[k] = breaks[j] - vds
+		k++
+	}
+	return k
+}
+
+// solveVSCRow is the region-dispatch-hoisted solve the batch kernel
+// runs per point: *cursor carries the index of the previous point's
+// bracketing breakpoint, so a run of neighbouring bias points whose
+// roots share a piecewise segment verifies the cached bracket with two
+// residual sign checks instead of re-scanning the merged breakpoint
+// list from the bottom. A cursor of -1 (or a stale hint) degrades to
+// exactly the cold scan. The (lo, hi] bracket, the assembled residual
+// polynomial and hence the returned root are bit-identical to the
+// cold-scan path's: only the order of sign evaluations changes, and F
+// is monotone across the scanned breakpoints.
+func (m *Model) solveVSCRow(ul, vds float64, cursor *int) (float64, int, bool) {
+	// The paper's models have <= 3 breaks; custom specs up to 8 breaks
+	// still fit the stack buffer, beyond that the caller falls back to
+	// the generic path.
 	var cand [16]float64
 	if 2*len(m.fastBreaks) > len(cand) {
 		return 0, dispatchNone, false
 	}
-	n := 0
-	for _, b := range m.fastBreaks {
-		cand[n] = b
-		cand[n+1] = b - vds
-		n += 2
+	n := m.mergeBreaks(vds, &cand)
+	inv := 1 / m.csigma
+
+	// F at a candidate, by point evaluations of QS — the same
+	// expression (and bits) the cold scan uses. Candidates within
+	// 1e-15 of their left neighbour are coincident breaks: the scan
+	// skips them, so the bracket below never collapses to zero width.
+	fAt := func(i int) float64 {
+		b := cand[i]
+		return b + ul - inv*(m.qsFast(b)+m.qsFast(b+vds))
 	}
-	for i := 1; i < n; i++ {
-		v := cand[i]
-		j := i - 1
-		for j >= 0 && cand[j] > v {
-			cand[j+1] = cand[j]
-			j--
+	skip := func(i int) bool { return i > 0 && cand[i]-cand[i-1] < 1e-15 }
+	// prevScanned returns the largest non-coincident index < i, or -1.
+	prevScanned := func(i int) int {
+		for j := i - 1; j >= 0; j-- {
+			if !skip(j) {
+				return j
+			}
 		}
-		cand[j+1] = v
+		return -1
 	}
 
-	// Find the first breakpoint where F >= 0; the root lies in the
-	// region ending there. If none, it lies beyond the last break.
-	// During the scan F(b) only needs point evaluations of QS.
-	inv := 1 / m.csigma
-	lo := math.Inf(-1)
-	hi := math.Inf(1)
-	for i := 0; i < n; i++ {
-		b := cand[i]
-		if i > 0 && b-cand[i-1] < 1e-15 {
-			continue // coincident break
+	// Locate h, the first scanned candidate with F >= 0 (h == n means
+	// the root lies beyond every break). With a cursor hint the common
+	// case is confirming F(h) >= 0 > F(prev); without one — or when
+	// the hint misses — scan like the cold path.
+	h := *cursor
+	if h >= 0 {
+		if h > n {
+			h = n
 		}
-		f := b + ul - inv*(m.qsFast(b)+m.qsFast(b+vds))
-		if f >= 0 {
-			hi = b
-			break
+		for h < n && skip(h) {
+			h++
 		}
-		lo = b
+		if h < n && fAt(h) < 0 {
+			// Root moved up: resume the upward scan past the hint.
+			next := n
+			for i := h + 1; i < n; i++ {
+				if skip(i) {
+					continue
+				}
+				if fAt(i) >= 0 {
+					next = i
+					break
+				}
+			}
+			h = next
+		} else {
+			// F(h) >= 0 (or h == n): walk down while the predecessor
+			// also clears zero, so h ends on the first crossing.
+			for {
+				p := prevScanned(h)
+				if p < 0 || fAt(p) < 0 {
+					break
+				}
+				h = p
+			}
+		}
+	} else {
+		h = n
+		for i := 0; i < n; i++ {
+			if skip(i) {
+				continue
+			}
+			if fAt(i) >= 0 {
+				h = i
+				break
+			}
+		}
+	}
+	*cursor = h
+
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if h < n {
+		hi = cand[h]
+	}
+	if p := prevScanned(h); p >= 0 {
+		lo = cand[p]
 	}
 
 	f := m.fTotal(pick(lo, hi), ul, vds)
@@ -130,6 +219,22 @@ func countDispatch(branch int, ok bool) {
 	metrics.dispatch[branch].Inc()
 	if !ok {
 		metrics.fallbackGeneric.Inc()
+	}
+}
+
+// flushDispatch records a whole batch's fast-path outcomes with one
+// atomic add per touched instrument. The row kernel accumulates into a
+// local array so its inner loop carries no shared-counter traffic;
+// totals match per-point countDispatch exactly.
+func flushDispatch(counts *[dispatchCount]int64, solves, fallbacks int64) {
+	metrics.solves.Add(solves)
+	for br, c := range counts {
+		if c != 0 {
+			metrics.dispatch[br].Add(c)
+		}
+	}
+	if fallbacks != 0 {
+		metrics.fallbackGeneric.Add(fallbacks)
 	}
 }
 

@@ -76,10 +76,12 @@ type Strategy int
 
 // Sweep strategies.
 const (
-	// Auto picks Parallel when Workers > 1, Batch otherwise — the right
-	// default for both model families (the piecewise models' closed
-	// form is below scheduling overhead; the reference model
-	// warm-starts along batched rows).
+	// Auto picks Batch when Workers == 1 and Parallel otherwise —
+	// including the zero default, which FamilyParallel expands to
+	// GOMAXPROCS. A default request therefore saturates the machine;
+	// only an explicit Workers: 1 opts into the single-threaded batch
+	// path (which the reference model's warm-start continuation still
+	// prefers for strictly serial rows).
 	Auto Strategy = iota
 	// Serial forces the plain row-by-row Family loop (the paper's
 	// Table I benchmark protocol).
@@ -253,17 +255,23 @@ func prebuild(ctx context.Context, m device.Solver) error {
 	return nil
 }
 
+// resolveStrategy maps Auto onto a concrete scheduler. Workers == 0
+// means "use GOMAXPROCS" to FamilyParallel, so the zero-value request
+// resolves to the parallel scheduler; only an explicit Workers: 1
+// keeps the serial batch path.
+func resolveStrategy(st Strategy, workers int) Strategy {
+	if st != Auto {
+		return st
+	}
+	if workers == 1 {
+		return Batch
+	}
+	return Parallel
+}
+
 // familyOnce runs one family sweep under the resolved strategy.
 func familyOnce(ctx context.Context, req Request, m device.Solver) ([]sweep.Curve, error) {
-	st := req.Strategy
-	if st == Auto {
-		if req.Workers > 1 {
-			st = Parallel
-		} else {
-			st = Batch
-		}
-	}
-	switch st {
+	switch resolveStrategy(req.Strategy, req.Workers) {
 	case Serial:
 		return sweep.Family(ctx, m, req.Gates, req.Drains)
 	case Parallel:

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"cntfet/internal/fettoy"
 	"cntfet/internal/rootfind"
 	"cntfet/internal/sweep"
+	"cntfet/internal/telemetry"
 	"cntfet/internal/units"
 )
 
@@ -147,8 +149,12 @@ func TestRMSCompareGoldenEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Strategy pinned to Batch: the golden composition above is the
+	// batched path, and Auto now resolves to the parallel scheduler
+	// (whose chunked warm-start chains differ at float precision).
 	res, err := Run(context.Background(), Request{
 		Kind: RMSCompare, Model: fast, Ref: ref, Gates: vgs, Drains: vds,
+		Strategy: Batch,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +170,7 @@ func TestRMSCompareGoldenEquivalence(t *testing.T) {
 	// The precomputed-reference form must agree too.
 	res2, err := Run(context.Background(), Request{
 		Kind: RMSCompare, Model: fast, RefFamily: famRef, Gates: vgs, Drains: vds,
+		Strategy: Batch,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -461,5 +468,63 @@ func TestPrebuildCancellation(t *testing.T) {
 	}
 	if len(res.Family) != 1 || math.IsNaN(res.Family[0].IDS[1]) {
 		t.Fatalf("retry produced a degenerate family: %+v", res.Family)
+	}
+}
+
+// TestResolveStrategy pins the Auto mapping: the zero-value request
+// (Workers == 0, meaning GOMAXPROCS to FamilyParallel) must land on
+// the parallel scheduler; only an explicit Workers: 1 keeps the
+// single-threaded batch path. Explicit strategies pass through.
+func TestResolveStrategy(t *testing.T) {
+	cases := []struct {
+		st      Strategy
+		workers int
+		want    Strategy
+	}{
+		{Auto, 0, Parallel},
+		{Auto, 1, Batch},
+		{Auto, 2, Parallel},
+		{Auto, 16, Parallel},
+		{Serial, 0, Serial},
+		{Batch, 0, Batch},
+		{Parallel, 1, Parallel},
+	}
+	for _, c := range cases {
+		if got := resolveStrategy(c.st, c.workers); got != c.want {
+			t.Errorf("resolveStrategy(%d, %d) = %d, want %d", c.st, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestDefaultRequestRunsParallel is the regression test for the Auto
+// bug where Workers == 0 silently fell back to the single-threaded
+// batch path: a default FamilySweep request must leave per-worker
+// accounting (sweep.worker.*.points), which only the chunked parallel
+// scheduler records, and the per-worker totals must cover the grid.
+func TestDefaultRequestRunsParallel(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	_, fast := buildPair(t, fettoy.Default())
+	gates := units.Linspace(0.2, 0.6, 3)
+	drains := units.Linspace(0, 0.6, 8)
+	res, err := Run(context.Background(), Request{
+		Kind:   FamilySweep,
+		Model:  fast,
+		Gates:  gates,
+		Drains: drains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workerPts int64
+	for k, v := range res.Metrics {
+		if strings.HasPrefix(k, "sweep.worker.") && strings.HasSuffix(k, ".points") {
+			workerPts += v
+		}
+	}
+	want := int64(len(gates) * len(drains))
+	if workerPts != want {
+		t.Fatalf("per-worker points = %d, want %d (default request did not run the parallel scheduler; metrics: %v)",
+			workerPts, want, res.Metrics)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"cntfet/internal/telemetry"
 )
 
 // TestBuildContextCancelAndRetry: a canceled build must return an
@@ -371,4 +373,40 @@ func TestTableLookupZeroAlloc(t *testing.T) {
 	}); avg != 0 {
 		t.Fatalf("table lookup allocates %.1f objects per call", avg)
 	}
+}
+
+// TestIDSBatchTableZeroAlloc pins the table-backed batch kernel's
+// allocation budget: one warm VDS row through IDSBatch must not
+// allocate, telemetry off and on (the kernel hoists the tabulation,
+// times solves with explicit time.Now/Observe pairs instead of the
+// closure-allocating timer helper, and flushes locally-accumulated
+// counters once). Skipped under -race, whose instrumentation
+// allocates.
+func TestIDSBatchTableZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m := newDefault(t)
+	tbl := m.EnableTable(TableOptions{})
+	tbl.Build()
+	bias := make([]Bias, 61)
+	out := make([]float64, len(bias))
+	for i := range bias {
+		bias[i] = Bias{VG: 0.5, VD: 0.6 * float64(i) / float64(len(bias)-1)}
+	}
+	for _, gate := range []bool{false, true} {
+		if gate {
+			telemetry.Enable()
+		} else {
+			telemetry.Disable()
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			if err := m.IDSBatch(bias, out); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("telemetry=%v: IDSBatch allocates %.1f objects per row", gate, avg)
+		}
+	}
+	telemetry.Disable()
 }

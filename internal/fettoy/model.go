@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"cntfet/internal/bandstruct"
 	"cntfet/internal/fermi"
@@ -284,7 +285,14 @@ func (m *Model) solveVSCAt(b Bias, guess float64, warm bool) (float64, SolveStat
 		// A lookup left the tabulated range (or the bracket search
 		// failed inside it): redo the point on exact quadrature.
 	}
+	return m.solveVSCQuad(b, ul, vds, qcs, guess, warm)
+}
 
+// solveVSCQuad is the exact-quadrature solve: safeguarded Newton on
+// the direct state-density integrals. It records the quadrature-side
+// work counters itself but leaves solve counting and timing to its
+// callers (solveVSCAt per point, IDSBatch once per row).
+func (m *Model) solveVSCQuad(b Bias, ul, vds, qcs, guess float64, warm bool) (float64, SolveStats, error) {
 	g := func(v float64) float64 {
 		ns := 0.5 * m.N(m.dev.EF-v)
 		nd := 0.5 * m.N(m.dev.EF-v-vds)
@@ -327,14 +335,31 @@ func (m *Model) solveVSCAt(b Bias, guess float64, warm bool) (float64, SolveStat
 	return res.Root, SolveStats{Iterations: res.Iterations, FuncEvals: res.FuncEvals}, nil
 }
 
-// solveVSCTable is the tabulated twin of the quadrature solve: the same
-// safeguarded Newton iteration, with N and N' served together by one
-// Hermite lookup per terminal. It is allocation-free (the closures
-// below never escape) and reports ok=false — leaving the caller to fall
-// back to quadrature — whenever a lookup lands outside the grid or the
-// bracket search fails.
+// solveVSCTable is the tabulated twin of the quadrature solve; it
+// wraps tableNewton with the per-point metric flush the single-solve
+// path wants (the batch kernel accumulates across the row instead).
 func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float64, warm bool) (float64, SolveStats, bool) {
-	hits := 0
+	root, st, hits, ok := m.tableNewton(t, b, ul, vds, qcs, guess, warm)
+	metrics.tableHits.Add(hits)
+	if !ok {
+		metrics.tableMisses.Inc()
+		return 0, st, false
+	}
+	metrics.newtonIters.Add(int64(st.Iterations))
+	m.localNewton.Add(int64(st.Iterations))
+	metrics.solveIters.Observe(float64(st.Iterations))
+	return root, st, true
+}
+
+// tableNewton is the tabulated Newton iteration itself: the same
+// safeguarded scheme as the quadrature solve, with N and N' served
+// together by one Hermite lookup per terminal. It is allocation-free
+// (the closures below never escape), touches no shared telemetry —
+// lookup hits are returned for the caller to flush — and reports
+// ok=false, leaving the caller to fall back to quadrature, whenever a
+// lookup lands outside the grid or the bracket search fails.
+func (m *Model) tableNewton(t *ChargeTable, b Bias, ul, vds, qcs, guess float64, warm bool) (float64, SolveStats, int64, bool) {
+	hits := int64(0)
 	// eval returns the residual and its derivative at v from two table
 	// lookups (source and drain effective Fermi levels).
 	eval := func(v float64) (gv, dgv float64, ok bool) {
@@ -351,13 +376,6 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 		dgv = 1 + 0.5*qcs*(nps+npd)
 		return gv, dgv, true
 	}
-	flush := func(ok bool) {
-		metrics.tableHits.Add(int64(hits))
-		if !ok {
-			metrics.tableMisses.Inc()
-		}
-	}
-
 	st := SolveStats{}
 	x0, half := -ul, 0.5
 	if warm {
@@ -366,30 +384,25 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 	lo, hi := x0-half, x0+half
 	glo, _, ok := eval(lo)
 	if !ok {
-		flush(false)
-		return 0, st, false
+		return 0, st, hits, false
 	}
 	ghi, _, ok := eval(hi)
 	if !ok {
-		flush(false)
-		return 0, st, false
+		return 0, st, hits, false
 	}
 	st.FuncEvals = 2
 	for grow := 0; glo*ghi > 0; grow++ {
 		if grow == 40 {
-			flush(false)
-			return 0, st, false
+			return 0, st, hits, false
 		}
 		w := hi - lo
 		lo -= w
 		hi += w
 		if glo, _, ok = eval(lo); !ok {
-			flush(false)
-			return 0, st, false
+			return 0, st, hits, false
 		}
 		if ghi, _, ok = eval(hi); !ok {
-			flush(false)
-			return 0, st, false
+			return 0, st, hits, false
 		}
 		st.FuncEvals += 2
 	}
@@ -403,8 +416,7 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 		st.Iterations = iter
 		gx, dgx, ok := eval(x)
 		if !ok {
-			flush(false)
-			return 0, st, false
+			return 0, st, hits, false
 		}
 		st.FuncEvals++
 		if traceOn {
@@ -431,20 +443,15 @@ func (m *Model) solveVSCTable(t *ChargeTable, b Bias, ul, vds, qcs, guess float6
 			x = next
 		}
 		if done {
-			metrics.newtonIters.Add(int64(st.Iterations))
-			m.localNewton.Add(int64(st.Iterations))
-			metrics.solveIters.Observe(float64(st.Iterations))
-			flush(true)
 			if traceOn {
 				m.trace.Emit(telemetry.KindFettoySolve, 0,
 					"vg", b.VG, "vd", b.VD, "vs", b.VS, "vsc", root,
 					"iters", st.Iterations, "fevals", st.FuncEvals)
 			}
-			return root, st, true
+			return root, st, hits, true
 		}
 	}
-	flush(false)
-	return 0, st, false
+	return 0, st, hits, false
 }
 
 // CurrentAtVSC evaluates the ballistic drain current (paper eqs. 12-14)
@@ -489,16 +496,81 @@ func (m *Model) IDSFrom(b Bias, guess float64) (ids, vsc float64, err error) {
 // batch: each solve starts from its predecessor's root, so a VDS row
 // costs a fraction of len(bias) independent cold solves. It implements
 // the sweep package's batch interface.
+//
+// With a charge table attached the row runs as a zero-alloc kernel
+// (testing.AllocsPerRun == 0, telemetry on or off): the one-time
+// tabulation is hoisted ahead of the row, every point drives the
+// tabulated Newton core directly, per-solve timing uses explicit
+// time.Now/Observe pairs instead of the closure-allocating timer
+// helper, and the work counters accumulate locally with one atomic
+// flush after the row. Points whose lookups leave the tabulated range
+// fall back to exact quadrature individually, exactly like the
+// per-point path; counter totals match it either way.
 func (m *Model) IDSBatch(bias []Bias, out []float64) error {
-	guess := math.NaN()
-	for i, b := range bias {
-		ids, vsc, err := m.IDSFrom(b, guess)
-		if err != nil {
-			return err
+	t := m.table
+	if t == nil || m.trace.Enabled() {
+		// No table to amortise (or per-iteration tracing wants the
+		// fully instrumented path): plain warm-started row.
+		guess := math.NaN()
+		for i, b := range bias {
+			ids, vsc, err := m.IDSFrom(b, guess)
+			if err != nil {
+				return err
+			}
+			out[i] = ids
+			guess = vsc
 		}
-		out[i] = ids
-		guess = vsc
+		return nil
 	}
+
+	t.tab() // pay the one-time build before the row, not inside point 0
+	alphaS := 1 - m.dev.AlphaG - m.dev.AlphaD
+	qcs := units.Q / m.csigma
+	on := telemetry.On()
+	var solves, iters, hits, misses int64
+	flush := func() {
+		metrics.solves.Add(solves)
+		metrics.tableHits.Add(hits)
+		if misses != 0 {
+			metrics.tableMisses.Add(misses)
+		}
+		if iters != 0 {
+			metrics.newtonIters.Add(iters)
+			m.localNewton.Add(iters)
+		}
+	}
+	guess, warm := math.NaN(), false
+	for i, b := range bias {
+		ul := m.dev.AlphaG*b.VG + m.dev.AlphaD*b.VD + alphaS*b.VS
+		vds := b.VD - b.VS
+		var t0 time.Time
+		if on {
+			t0 = time.Now()
+		}
+		solves++
+		root, st, nhits, ok := m.tableNewton(t, b, ul, vds, qcs, guess, warm)
+		hits += nhits
+		if !ok {
+			// This point left the grid (or the bracket search failed):
+			// redo it on exact quadrature, which records its own
+			// quadrature-side counters.
+			misses++
+			var err error
+			if root, st, err = m.solveVSCQuad(b, ul, vds, qcs, guess, warm); err != nil {
+				flush()
+				return err
+			}
+		} else {
+			iters += int64(st.Iterations)
+			metrics.solveIters.Observe(float64(st.Iterations))
+		}
+		if on {
+			metrics.solveTime.Observe(time.Since(t0))
+		}
+		out[i] = m.CurrentAtVSC(root, b)
+		guess, warm = root, true
+	}
+	flush()
 	return nil
 }
 

@@ -80,7 +80,8 @@ func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver
 	if err != nil {
 		return nil, false, err
 	}
-	key := cacheKey{family: spec.Family, preset: spec.Device, t: dev.T, ef: dev.EF}
+	family := familyOrDefault(spec.Family)
+	key := cacheKey{family: family, preset: spec.Device, t: dev.T, ef: dev.EF}
 	c.mu.Lock()
 	e := c.entries[key]
 	if e == nil {
@@ -99,7 +100,7 @@ func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver
 	reg.Counter(telemetry.KeyServerCacheMisses).Inc()
 	_, span := telemetry.StartSpan(ctx, telemetry.SpanServerModelBuild)
 	span.Set(telemetry.String(telemetry.AttrModelKey, key.String()))
-	m, err := build(spec.Family, dev)
+	m, err := build(family, dev)
 	if err != nil {
 		span.Set(telemetry.String(telemetry.AttrError, err.Error()))
 		span.End()
@@ -111,13 +112,16 @@ func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver
 }
 
 // Key renders the cache identity a spec resolves to, for logs and
-// spans. Unresolvable specs render with their raw override values.
+// spans — with the family default applied, so an omitted family and an
+// explicit "model1" report the same identity. Unresolvable specs
+// render with their raw override values.
 func (m ModelSpec) Key() string {
+	family := familyOrDefault(m.Family)
 	dev, err := m.device()
 	if err != nil {
-		return fmt.Sprintf("%s/%s/T=%g/EF=%v", m.Family, m.Device, m.T, m.EF)
+		return fmt.Sprintf("%s/%s/T=%g/EF=%v", family, m.Device, m.T, m.EF)
 	}
-	return cacheKey{family: m.Family, preset: m.Device, t: dev.T, ef: dev.EF}.String()
+	return cacheKey{family: family, preset: m.Device, t: dev.T, ef: dev.EF}.String()
 }
 
 // Len reports how many models are built and cached.
@@ -159,8 +163,9 @@ func build(family string, dev fettoy.Device) (device.Solver, error) {
 		}
 		return core.Fit(ref, spec, core.FitOptions{})
 	case "":
-		return nil, fmt.Errorf("missing model family (want %q, %q or %q)",
-			FamilyReference, FamilyModel1, FamilyModel2)
+		// Resolve normalises before calling here; direct callers get the
+		// same default behaviour.
+		return build(DefaultFamily, dev)
 	}
 	return nil, fmt.Errorf("unknown model family %q (want %q, %q or %q)",
 		family, FamilyReference, FamilyModel1, FamilyModel2)

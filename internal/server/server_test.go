@@ -412,6 +412,44 @@ func TestModelCacheReuse(t *testing.T) {
 	}
 }
 
+// TestDefaultFamilyIsClosedForm pins the closed-form-first serving
+// default: a request that omits "family" resolves to model1, shares
+// one cache entry with an explicit model1 request, and answers
+// bit-identically to it.
+func TestDefaultFamilyIsClosedForm(t *testing.T) {
+	cache := NewModelCache()
+	h := New(Config{Resolver: cache}).Handler()
+
+	implicit := decodeJob(t, post(t, h, `{"kind": "iv-point", "model": {}, "vg": 0.5, "vd": 0.4}`))
+	explicit := decodeJob(t, post(t, h, `{"kind": "iv-point", "model": {"family": "model1"}, "vg": 0.5, "vd": 0.4}`))
+	if implicit.IDS != explicit.IDS {
+		t.Fatalf("default family answered %g, explicit model1 %g", implicit.IDS, explicit.IDS)
+	}
+	if n := cache.Len(); n != 1 {
+		t.Fatalf("cache holds %d models, want 1 (default and explicit model1 must share a key)", n)
+	}
+	if got, want := (ModelSpec{}).Key(), (ModelSpec{Family: FamilyModel1}).Key(); got != want {
+		t.Fatalf("spec keys diverge: %q vs %q", got, want)
+	}
+
+	// The default-family sweep must be closed-form work: no reference
+	// Newton iterations or quadrature evaluations in the job's metrics.
+	jr := decodeJob(t, post(t, h, `{
+		"kind": "family-sweep",
+		"model": {},
+		"gates": [0.4, 0.6],
+		"drains": [0, 0.3, 0.6]
+	}`))
+	if len(jr.Family) != 2 {
+		t.Fatalf("degenerate family: %+v", jr)
+	}
+	for _, k := range []string{"fettoy.newton_iters", "fettoy.quad_points"} {
+		if v := jr.Metrics[k]; v != 0 {
+			t.Fatalf("default family did reference work: %s = %d", k, v)
+		}
+	}
+}
+
 // TestHealthAndMetrics checks the operational endpoints: /healthz
 // serves build and load identity, /metrics serves valid Prometheus
 // text exposition with the request-latency histogram, /metrics.json

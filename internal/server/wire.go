@@ -21,12 +21,29 @@ import (
 // Model families the wire schema can name. "reference" is the
 // FETToy-style theory backed by a charge table (so repeated requests
 // reuse one tabulation); "model1"/"model2" are the paper's piecewise
-// closed-form models.
+// closed-form models. An empty family defaults to DefaultFamily — the
+// closed-form serving path — so the reference model is opt-in (as an
+// rms-compare oracle or for explicit theory sweeps).
 const (
 	FamilyReference = "reference"
 	FamilyModel1    = "model1"
 	FamilyModel2    = "model2"
+
+	// DefaultFamily is what an absent/empty "family" resolves to:
+	// Model 1, the paper's piecewise closed-form model. Serving defaults
+	// to the analytical path; numerics stay available as the oracle.
+	DefaultFamily = FamilyModel1
 )
+
+// familyOrDefault normalises an empty wire family to DefaultFamily.
+// Both the cache key and the build go through this, so an explicit
+// "model1" and an omitted family share one cached model.
+func familyOrDefault(family string) string {
+	if family == "" {
+		return DefaultFamily
+	}
+	return family
+}
 
 // Device presets the wire schema can name.
 const (
@@ -40,9 +57,10 @@ const (
 // overridable. The tuple (family, device, t, ef) is also the model
 // cache key.
 type ModelSpec struct {
-	// Family is "reference", "model1" or "model2". MonteCarlo jobs use
-	// only the device parameters and may leave it empty.
-	Family string `json:"family"`
+	// Family is "reference", "model1" or "model2". Empty defaults to
+	// DefaultFamily (model1, the closed-form serving path); MonteCarlo
+	// jobs use only the device parameters and ignore it entirely.
+	Family string `json:"family,omitempty"`
 	// Device is the preset name: "default" (the paper's nominal
 	// device, also the zero value) or "javey" (the section-VI
 	// experimental device).

@@ -171,3 +171,48 @@ func TestFamilyParallelCountsAllErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestFamilyParallelBatchedChunksBitForBit pins the parallel
+// scheduler's batched-chunk path for the piecewise models: each chunk
+// goes through the same zero-alloc row kernel the batch path uses, and
+// the closed-form solve has no cross-point iteration state, so the
+// curves must match the serial sweep to the last bit — for any worker
+// count, including oversubscription.
+func TestFamilyParallelBatchedChunksBitForBit(t *testing.T) {
+	ref, err := fettoy.New(fettoy.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vgs := PaperGates()
+	vds := Grid()
+	for name, build := range map[string]func(*fettoy.Model) (*core.Model, error){
+		"model1": core.Model1,
+		"model2": core.Model2,
+	} {
+		m, err := build(ref)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, ok := device.Solver(m).(device.BatchSolver); !ok {
+			t.Fatalf("%s: model lost its BatchSolver capability", name)
+		}
+		serial, err := Family(context.Background(), m, vgs, vds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			par, err := FamilyParallel(context.Background(), m, vgs, vds, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range serial {
+				for j := range serial[i].IDS {
+					if serial[i].IDS[j] != par[i].IDS[j] {
+						t.Fatalf("%s workers=%d curve %d point %d: serial %g != parallel %g",
+							name, workers, i, j, serial[i].IDS[j], par[i].IDS[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -15,17 +15,22 @@ import (
 // FamilyParallel evaluates a curve family with worker goroutines using
 // chunked row scheduling: tasks are [lo, hi) index blocks of one VDS
 // row, drained from a buffered channel, so the per-point cost is the
-// solve itself rather than a channel hand-off. Within a chunk the
-// workers thread warm-start continuation when the model supports it
-// (see device.WarmStarter): each solve starts from the neighbouring
-// root. Both library models are safe for concurrent use after
-// construction. workers <= 0 selects GOMAXPROCS.
+// solve itself rather than a channel hand-off. When the model exposes
+// device.BatchSolver each worker hands whole chunks to the row kernel
+// (the zero-alloc closed-form kernel for the piecewise family, the
+// warm-started table Newton for the reference model) using a
+// per-worker scratch buffer; otherwise points run one by one with
+// warm-start continuation when the model supports it (see
+// device.WarmStarter). Both library models are safe for concurrent use
+// after construction. workers <= 0 selects GOMAXPROCS.
 //
-// Cancellation is honoured per point: when ctx is canceled the workers
-// stop promptly, every goroutine is joined before return, and the
-// error wraps the context's cause so callers can tell user abort from
-// numerical failure. Counters stay consistent — sweep.points counts
-// exactly the points that completed before the abort.
+// Cancellation is honoured per point on the per-point path and per
+// chunk on the batched path (a chunk is at most one VDS row): when ctx
+// is canceled the workers stop promptly, every goroutine is joined
+// before return, and the error wraps the context's cause so callers
+// can tell user abort from numerical failure. Counters stay consistent
+// — sweep.points counts exactly the points that completed before the
+// abort.
 //
 // Numerical errors do not abort the sweep: the first one (in
 // scheduling order of discovery) is returned after all workers drain,
@@ -33,10 +38,11 @@ import (
 // counter regardless of the telemetry gate, so partial failures are
 // never silent.
 //
-// Use this for the reference model, where one operating point costs
-// ~100 µs of quadrature (or ~1 µs tabulated); for the piecewise models
-// the per-point cost (~0.2 µs) is below scheduling overhead and the
-// serial Family or FamilyBatch is usually faster.
+// This is the default serving scheduler (engine Auto with the default
+// Workers == 0 resolves here): batched chunks amortise the scheduling
+// overhead that used to make the piecewise models prefer the serial
+// paths, and the reference model parallelises its ~1 µs tabulated (or
+// ~100 µs quadrature) points across cores.
 func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, workers int) ([]Curve, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -85,6 +91,7 @@ func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, wo
 	var errOnce sync.Once
 
 	ws, warm := m.(device.WarmStarter)
+	bs, batch := m.(device.BatchSolver)
 	done := ctxDone(ctx)
 	on := telemetry.On()
 	reg := telemetry.Default()
@@ -94,6 +101,10 @@ func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, wo
 		go func(w int) {
 			defer wg.Done()
 			var points, errs int64
+			// Per-worker bias scratch for the batched chunk path: one
+			// allocation per worker for the whole sweep, sized to the
+			// largest chunk. Lazy so non-batch models pay nothing.
+			var biasBuf []fettoy.Bias
 			if on {
 				defer reg.Timer(fmt.Sprintf(telemetry.KeySweepWorkerTimeFmt, w)).Start()()
 			}
@@ -106,6 +117,37 @@ func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, wo
 				// tracing is off.
 				_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepChunk)
 				chunkPoints := points
+				if batch {
+					// Batched chunk path: hand the whole [lo, hi) run to
+					// the model's row kernel (zero-alloc closed form for
+					// the piecewise family, warm-started table Newton for
+					// the reference). Cancellation is honoured per chunk
+					// here — a chunk is at most one VDS row, the same
+					// granularity FamilyBatch uses.
+					select {
+					case <-done:
+						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
+						break drain
+					default:
+					}
+					if biasBuf == nil {
+						biasBuf = make([]fettoy.Bias, span)
+					}
+					n := ck.hi - ck.lo
+					for vi := ck.lo; vi < ck.hi; vi++ {
+						biasBuf[vi-ck.lo] = fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
+					}
+					if err := bs.IDSBatch(biasBuf[:n], out[ck.gi].IDS[ck.lo:ck.hi]); err == nil {
+						points += int64(n)
+						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
+						continue
+					}
+					// The batch failed somewhere in the run: fall through
+					// to the per-point loop, which redoes the chunk to
+					// attribute the failing point exactly and keep the
+					// healthy neighbours — batch errors stay as non-silent
+					// and non-aborting as per-point ones.
+				}
 				guess := math.NaN()
 				for vi := ck.lo; vi < ck.hi; vi++ {
 					select {
