@@ -14,8 +14,8 @@ func docWith(batched, closed float64) sweepBenchDoc {
 
 // TestCheckGate pins the regression-gate arithmetic: a serving path
 // may lose up to the threshold fraction of points/sec before the gate
-// fails, paths missing from the baseline are skipped, and the legacy
-// path is never gated.
+// fails, paths missing from the baseline are skipped BY NAME (never
+// silently), and the legacy path is never gated.
 func TestCheckGate(t *testing.T) {
 	base := docWith(1000, 5000)
 	cases := []struct {
@@ -30,7 +30,10 @@ func TestCheckGate(t *testing.T) {
 		{"closed-form regressed", docWith(1000, 4200), "closed_form"},
 	}
 	for _, c := range cases {
-		err := checkGate(c.cur, base, 0.15)
+		skipped, err := checkGate(c.cur, base, 0.15)
+		if len(skipped) != 0 {
+			t.Errorf("%s: full baseline reported skips: %v", c.name, skipped)
+		}
 		if c.wantFail == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected gate failure: %v", c.name, err)
@@ -43,17 +46,31 @@ func TestCheckGate(t *testing.T) {
 	}
 
 	// A baseline predating the closed-form path (zero points/sec there)
-	// must not fail a current run that has one.
+	// must not fail a current run that has one — but the skip must be
+	// reported by name so it can land in BENCH_gate.json.
 	old := docWith(1000, 0)
-	if err := checkGate(docWith(1000, 4000), old, 0.15); err != nil {
+	skipped, err := checkGate(docWith(1000, 4000), old, 0.15)
+	if err != nil {
 		t.Errorf("schema-growth baseline failed the gate: %v", err)
+	}
+	if len(skipped) != 1 || skipped[0] != "closed_form" {
+		t.Errorf("skipped paths = %v, want [closed_form]", skipped)
+	}
+
+	// An empty baseline skips every gated path.
+	skipped, err = checkGate(docWith(1000, 4000), sweepBenchDoc{}, 0.15)
+	if err != nil {
+		t.Errorf("empty baseline failed the gate: %v", err)
+	}
+	if len(skipped) != 2 {
+		t.Errorf("empty baseline skipped %v, want both paths", skipped)
 	}
 
 	// A non-positive threshold falls back to the 15% default.
-	if err := checkGate(docWith(840, 5000), base, 0); err == nil {
+	if _, err := checkGate(docWith(840, 5000), base, 0); err == nil {
 		t.Error("default threshold did not catch a 16% regression")
 	}
-	if err := checkGate(docWith(860, 5000), base, 0); err != nil {
+	if _, err := checkGate(docWith(860, 5000), base, 0); err != nil {
 		t.Errorf("default threshold rejected a within-15%% run: %v", err)
 	}
 }

@@ -73,6 +73,14 @@ type sweepBenchDoc struct {
 	// the timed windows; TableNodes is the adaptive grid size.
 	TableBuildSeconds float64 `json:"table_build_seconds"`
 	TableNodes        int64   `json:"table_nodes"`
+
+	// GateSkippedPaths and GateSkippedCount record serving paths the
+	// regression gate could not check because the baseline predates
+	// them (no-silent-caps: a gate that skipped something must say so
+	// in its artifact). Empty/zero on ungated runs and on baselines
+	// covering every path.
+	GateSkippedPaths []string `json:"gate_skipped_paths,omitempty"`
+	GateSkippedCount int      `json:"gate_skipped_count,omitempty"`
 }
 
 // sweepCounterKeys are the registry deltas quoted per path: the
@@ -251,6 +259,17 @@ func runSweepBench(points, repeats, workers int, outPath string, assertFaster bo
 	}
 	doc.IntegralEvalReduction = float64(legacyEvals) / float64(batchedEvals)
 
+	// Gate before writing the document, so the skipped-path record (and
+	// a failing run's numbers) land in BENCH_gate.json either way.
+	var gateErr error
+	if baseline != nil {
+		doc.GateSkippedPaths, gateErr = checkGate(doc, *baseline, gateThreshold)
+		doc.GateSkippedCount = len(doc.GateSkippedPaths)
+		for _, name := range doc.GateSkippedPaths {
+			fmt.Printf("benchgate: %s path absent from baseline, not gated\n", name)
+		}
+	}
+
 	var w io.Writer = os.Stdout
 	if outPath != "-" {
 		f, err := os.Create(outPath)
@@ -286,12 +305,12 @@ func runSweepBench(points, repeats, workers int, outPath string, assertFaster bo
 		return fmt.Errorf("sweepbench: batched path slower than legacy (%.2fx)", doc.Speedup)
 	}
 	if baseline != nil {
-		if err := checkGate(doc, *baseline, gateThreshold); err != nil {
-			return err
+		if gateErr != nil {
+			return gateErr
 		}
-		fmt.Printf("benchgate: within %.0f%% of baseline (batched %.3g vs %.3g, closed-form %.3g vs %.3g points/s)\n",
+		fmt.Printf("benchgate: within %.0f%% of baseline (batched %.3g vs %.3g, closed-form %.3g vs %.3g points/s, %d paths skipped)\n",
 			gateThreshold*100, doc.Batched.PointsPerSec, baseline.Batched.PointsPerSec,
-			doc.ClosedForm.PointsPerSec, baseline.ClosedForm.PointsPerSec)
+			doc.ClosedForm.PointsPerSec, baseline.ClosedForm.PointsPerSec, doc.GateSkippedCount)
 	}
 	return nil
 }
@@ -329,10 +348,12 @@ func loadBenchDoc(path string) (*sweepBenchDoc, error) {
 // threshold (a fraction, e.g. 0.15 for 15%) below the baseline's.
 // Paths absent from the baseline (zero points/sec — e.g. a baseline
 // from before the closed-form path existed) are skipped rather than
-// failed, so the gate stays usable across schema growth. The legacy
-// path is deliberately not gated: it exists as the "before" yardstick,
-// not as a serving path.
-func checkGate(cur, base sweepBenchDoc, threshold float64) error {
+// failed, so the gate stays usable across schema growth — but never
+// silently: every skipped path is returned by name, and the caller
+// logs them and records the list in BENCH_gate.json. The legacy path
+// is deliberately not gated: it exists as the "before" yardstick, not
+// as a serving path.
+func checkGate(cur, base sweepBenchDoc, threshold float64) (skipped []string, err error) {
 	if threshold <= 0 {
 		threshold = 0.15
 	}
@@ -345,13 +366,14 @@ func checkGate(cur, base sweepBenchDoc, threshold float64) error {
 		{"closed_form", cur.ClosedForm.PointsPerSec, base.ClosedForm.PointsPerSec},
 	} {
 		if g.base <= 0 {
+			skipped = append(skipped, g.name)
 			continue
 		}
 		floor := g.base * (1 - threshold)
 		if g.cur < floor {
-			return fmt.Errorf("benchgate: %s path regressed: %.4g points/s vs baseline %.4g (floor %.4g at %.0f%% threshold)",
+			return skipped, fmt.Errorf("benchgate: %s path regressed: %.4g points/s vs baseline %.4g (floor %.4g at %.0f%% threshold)",
 				g.name, g.cur, g.base, floor, threshold*100)
 		}
 	}
-	return nil
+	return skipped, nil
 }

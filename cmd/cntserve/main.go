@@ -11,10 +11,13 @@
 //	cntserve -inflight 4 -timeout 30s     tighter admission control
 //	cntserve -trace -log access.ndjson    request tracing + NDJSON logs
 //	cntserve -debug-addr localhost:6060   pprof profiles + expvar
+//	cntserve -snapshot-dir /var/cnt/snap  charge-table snapshot warm-start
 //	cntserve -selftest                    one-shot smoke: serve on an
-//	                                      ephemeral port, POST one
-//	                                      family-sweep, scrape the
-//	                                      operational endpoints, exit
+//	                                      ephemeral port, POST buffered
+//	                                      and streamed family-sweeps,
+//	                                      scrape the operational
+//	                                      endpoints, restart against the
+//	                                      snapshot dir, exit
 //
 // Endpoints:
 //
@@ -24,6 +27,15 @@
 //	                    and job-duration histograms)
 //	GET  /metrics.json  the JSON snapshot the CLIs consume
 //	GET  /debug/trace   completed spans as NDJSON (with -trace)
+//
+// Streaming: a job posted with "stream": true (or with "Accept:
+// application/x-ndjson") answers as chunked NDJSON, one frame per
+// result row, flushed as computed — `curl --no-buffer` shows rows
+// arriving while the sweep runs. -snapshot-dir points the model cache
+// at a directory of charge-table snapshots: reference tables found
+// there are loaded instead of rebuilt, and tables built here are
+// saved back, so a restarted replica's first reference job skips the
+// tabulation entirely.
 //
 // -log writes the structured NDJSON access/job log ("-" for stderr);
 // every record of one request carries the same trace ID. -trace turns
@@ -37,6 +49,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -50,6 +63,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -68,6 +82,7 @@ func main() {
 	logPath := flag.String("log", "", "write the NDJSON access/job log to this file (\"-\" = stderr)")
 	trace := flag.Bool("trace", false, "record request spans: populates /debug/trace and adds span records to -log")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar telemetry on this address (e.g. localhost:6060)")
+	snapshotDir := flag.String("snapshot-dir", "", "warm-start reference charge tables from (and save them to) *.snap files in this directory")
 	selftest := flag.Bool("selftest", false, "start on an ephemeral port, exercise the job and operational endpoints, exit")
 	flag.Parse()
 
@@ -108,16 +123,29 @@ func main() {
 
 	if *selftest {
 		// The selftest verifies the observability contract too, so it
-		// runs with tracing on and the log captured in memory.
+		// runs with tracing on and the log captured in memory. The
+		// snapshot phase needs a real directory; default to a temporary
+		// one when the flag is unset.
 		telemetry.DefaultTracer().SetEnabled(true)
 		var logBuf syncBuffer
-		srv := server.New(server.Config{
+		snapDir := *snapshotDir
+		if snapDir == "" {
+			dir, err := os.MkdirTemp("", "cntserve-selftest-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cntserve: selftest:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			snapDir = dir
+		}
+		cfg := server.Config{
 			Timeout:     *timeout,
 			MaxBody:     *maxBody,
 			MaxInFlight: *inflight,
 			AccessLog:   &logBuf,
-		})
-		if err := runSelftest(srv, &logBuf, *drain); err != nil {
+			SnapshotDir: snapDir,
+		}
+		if err := runSelftest(cfg, &logBuf, *drain); err != nil {
 			fmt.Fprintln(os.Stderr, "cntserve: selftest:", err)
 			os.Exit(1)
 		}
@@ -131,6 +159,7 @@ func main() {
 		MaxBody:     *maxBody,
 		MaxInFlight: *inflight,
 		AccessLog:   accessLog,
+		SnapshotDir: *snapshotDir,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -161,13 +190,6 @@ func main() {
 	}
 }
 
-// runSelftest is the `make servesmoke` body: bind an ephemeral port,
-// serve, POST one family-sweep over the paper's nominal device, and
-// assert (a) a 200 with a non-empty family, (b) /metrics is valid
-// Prometheus text exposition carrying the server counters and latency
-// histogram, (c) /metrics.json still serves the JSON snapshot,
-// (d) /healthz reports identity, and (e) the job's trace ID correlates
-// the access log, the job log and the /debug/trace span ring.
 // syncBuffer is an in-memory log sink safe to read while the server's
 // logger is still writing (the selftest polls it mid-flight).
 type syncBuffer struct {
@@ -187,7 +209,19 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-func runSelftest(srv *server.Server, logBuf *syncBuffer, drain time.Duration) error {
+// runSelftest is the `make servesmoke` body: bind an ephemeral port,
+// serve, POST one family-sweep over the paper's nominal device, and
+// assert (a) a 200 with a non-empty family, (b) /metrics is valid
+// Prometheus text exposition carrying the server counters and latency
+// histogram, (c) /metrics.json still serves the JSON snapshot,
+// (d) /healthz reports identity, (e) the job's trace ID correlates
+// the access log, the job log and the /debug/trace span ring, (f) the
+// same sweep streamed as NDJSON delivers the buffered rows bit-for-bit
+// frame by frame under a correlatable Trace-Id header, and (g) a
+// reference job persists its charge-table snapshot, which a restarted
+// server loads instead of rebuilding.
+func runSelftest(cfg server.Config, logBuf *syncBuffer, drain time.Duration) error {
+	srv := server.New(cfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -312,6 +346,30 @@ func runSelftest(srv *server.Server, logBuf *syncBuffer, drain time.Duration) er
 		}
 	}
 
+	// (f) The same sweep streamed: each row a flushed NDJSON frame,
+	// bit-identical to the buffered family, done frame last, trace ID
+	// in the response header for log correlation.
+	if err := checkStreamedSweep(client, base, body, jr, logBuf); err != nil {
+		return err
+	}
+
+	// (g) Snapshot warm-start across a restart: a reference job on this
+	// server builds its charge table once and persists it...
+	refBody := `{"kind": "iv-point", "model": {"family": "reference"}, "vg": 0.5, "vd": 0.4}`
+	reg := telemetry.Default()
+	buildsBefore := reg.Counter(telemetry.KeyFettoyTableBuilds).Value()
+	coldIDS, err := postJob(client, base, refBody)
+	if err != nil {
+		return fmt.Errorf("reference job (cold): %w", err)
+	}
+	if d := reg.Counter(telemetry.KeyFettoyTableBuilds).Value() - buildsBefore; d != 1 {
+		return fmt.Errorf("cold reference job built %d charge tables, want 1", d)
+	}
+	snaps, err := filepath.Glob(filepath.Join(cfg.SnapshotDir, "*.snap"))
+	if err != nil || len(snaps) == 0 {
+		return fmt.Errorf("no *.snap persisted in %s (%v)", cfg.SnapshotDir, err)
+	}
+
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -320,7 +378,147 @@ func runSelftest(srv *server.Server, logBuf *syncBuffer, drain time.Duration) er
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+
+	// ...and a fresh server over the same directory — a restart, with
+	// its own empty model cache — serves the first reference job from
+	// the snapshot: fettoy.table.builds stays flat, snapshot_loads
+	// moves, and the answer is bit-identical.
+	srv2 := server.New(cfg)
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- srv2.Serve(l2) }()
+	base2 := fmt.Sprintf("http://%s", l2.Addr())
+	buildsBefore = reg.Counter(telemetry.KeyFettoyTableBuilds).Value()
+	loadsBefore := reg.Counter(telemetry.KeyFettoyTableSnapshotLoads).Value()
+	warmIDS, err := postJob(client, base2, refBody)
+	if err != nil {
+		return fmt.Errorf("reference job (warm): %w", err)
+	}
+	if d := reg.Counter(telemetry.KeyFettoyTableBuilds).Value() - buildsBefore; d != 0 {
+		return fmt.Errorf("warm-started server built %d charge tables, want 0", d)
+	}
+	if d := reg.Counter(telemetry.KeyFettoyTableSnapshotLoads).Value() - loadsBefore; d != 1 {
+		return fmt.Errorf("warm-started server loaded %d snapshots, want 1", d)
+	}
+	if warmIDS != coldIDS { //lint:allow floatcmp a warm-started table must answer bit-identically
+		return fmt.Errorf("warm-started IDS %g differs from cold %g", warmIDS, coldIDS)
+	}
+
+	drainCtx2, cancel2 := context.WithTimeout(context.Background(), drain)
+	defer cancel2()
+	if err := srv2.Shutdown(drainCtx2); err != nil {
+		return fmt.Errorf("shutdown (restarted server): %w", err)
+	}
+	if err := <-errc2; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
 	return nil
+}
+
+// postJob posts one job body and returns the response's IDS.
+func postJob(client *http.Client, base, body string) (float64, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var jr server.JobResponse
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		return 0, err
+	}
+	return jr.IDS, nil
+}
+
+// checkStreamedSweep re-runs a family sweep with "stream": true and
+// asserts the NDJSON contract: one row frame per gate bias carrying
+// exactly the buffered rows, a trailing done frame without the family,
+// and a Trace-Id header whose ID appears in the job log.
+func checkStreamedSweep(client *http.Client, base, body string, buffered server.JobResponse, logBuf *syncBuffer) error {
+	streamBody := strings.Replace(body, `"kind"`, `"stream": true, "kind"`, 1)
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(streamBody))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("streamed job: status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return fmt.Errorf("streamed job content type %q, want application/x-ndjson", ct)
+	}
+	trace := resp.Header.Get("Trace-Id")
+	if trace == "" {
+		return fmt.Errorf("streamed job missing Trace-Id header")
+	}
+
+	var rows int
+	var done bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var frame server.StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			return fmt.Errorf("bad stream frame %q: %w", sc.Text(), err)
+		}
+		switch {
+		case frame.Row != nil:
+			if done {
+				return fmt.Errorf("row frame after done frame")
+			}
+			if frame.Row.Index != rows {
+				return fmt.Errorf("row %d arrived with index %d", rows, frame.Row.Index)
+			}
+			want := buffered.Family[rows]
+			for j := range want.IDS {
+				if frame.Row.IDS[j] != want.IDS[j] { //lint:allow floatcmp streamed rows must match buffered bit-for-bit
+					return fmt.Errorf("streamed row %d point %d: %g, buffered %g",
+						rows, j, frame.Row.IDS[j], want.IDS[j])
+				}
+			}
+			rows++
+		case frame.Done != nil:
+			if len(frame.Done.Family) != 0 {
+				return fmt.Errorf("done frame re-buffers the family")
+			}
+			done = true
+		case frame.Error != nil:
+			return fmt.Errorf("streamed job failed mid-stream: %s", frame.Error.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if rows != len(buffered.Family) || !done {
+		return fmt.Errorf("stream delivered %d of %d rows (done=%v)", rows, len(buffered.Family), done)
+	}
+
+	// The header's trace ID must land in the job log — that is the
+	// correlation a streaming client relies on.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if strings.Contains(logBuf.String(), trace) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("trace %s from Trace-Id header absent from the log", trace)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // waitForTrace scans the NDJSON log for the job's access and job

@@ -21,6 +21,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -128,6 +129,11 @@ type Request struct {
 	// analysis tables (the Metrics still report the solver work).
 	Deck   *netlist.Deck
 	Output io.Writer
+
+	// Sink, when non-nil, receives results incrementally as the job
+	// computes them — see the Sink interface for the ordering, memory
+	// and error contract. Nil keeps the fully buffered Result.
+	Sink Sink
 }
 
 // Result is a job's response. Only the fields of the requested Kind
@@ -269,16 +275,29 @@ func resolveStrategy(st Strategy, workers int) Strategy {
 	return Parallel
 }
 
-// familyOnce runs one family sweep under the resolved strategy.
-func familyOnce(ctx context.Context, req Request, m device.Solver) ([]sweep.Curve, error) {
+// familyOnceTo runs one family sweep under the resolved strategy,
+// handing rows to emit in gate order as they complete.
+func familyOnceTo(ctx context.Context, req Request, m device.Solver, emit func(int, sweep.Curve) error) error {
 	switch resolveStrategy(req.Strategy, req.Workers) {
 	case Serial:
-		return sweep.Family(ctx, m, req.Gates, req.Drains)
+		return sweep.FamilyTo(ctx, m, req.Gates, req.Drains, emit)
 	case Parallel:
-		return sweep.FamilyParallel(ctx, m, req.Gates, req.Drains, req.Workers)
+		return sweep.FamilyParallelTo(ctx, m, req.Gates, req.Drains, req.Workers, emit)
 	default:
-		return sweep.FamilyBatch(ctx, m, req.Gates, req.Drains)
+		return sweep.FamilyBatchTo(ctx, m, req.Gates, req.Drains, emit)
 	}
+}
+
+// familyOnce is the collecting wrapper over familyOnceTo.
+func familyOnce(ctx context.Context, req Request, m device.Solver) ([]sweep.Curve, error) {
+	out := make([]sweep.Curve, 0, len(req.Gates))
+	if err := familyOnceTo(ctx, req, m, func(_ int, c sweep.Curve) error {
+		out = append(out, c)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func validateGrid(req Request) error {
@@ -304,6 +323,18 @@ func runFamily(ctx context.Context, req Request) (Result, error) {
 	}
 	var res Result
 	for i := 0; i < repeat; i++ {
+		if req.Sink != nil && i == repeat-1 {
+			// Streaming iteration: rows leave through the sink as they
+			// complete and are not buffered — a million-point sweep
+			// holds one row at a time (batch path) instead of the whole
+			// family. Earlier Repeat iterations (benchmark loops) run
+			// buffered and are discarded, as before.
+			if err := familyOnceTo(ctx, req, req.Model, rowEmit(req.Sink, false)); err != nil {
+				return Result{}, err
+			}
+			res.Family = nil
+			continue
+		}
 		fam, err := familyOnce(ctx, req, req.Model)
 		if err != nil {
 			return Result{}, err
@@ -338,16 +369,41 @@ func runRMSCompare(ctx context.Context, req Request) (Result, error) {
 		if err := prebuild(ctx, req.Ref); err != nil {
 			return Result{}, err
 		}
-		var err error
-		if refFam, err = familyOnce(ctx, req, req.Ref); err != nil {
+		// The comparison needs the whole reference family, so the rows
+		// are collected either way; with a sink they stream out too
+		// (Ref: true) as they complete.
+		refFam = make([]sweep.Curve, 0, len(req.Gates))
+		collect := func(gi int, c sweep.Curve) error {
+			refFam = append(refFam, c)
+			if req.Sink != nil {
+				return rowEmit(req.Sink, true)(gi, c)
+			}
+			return nil
+		}
+		if err := familyOnceTo(ctx, req, req.Ref, collect); err != nil {
 			return Result{}, err
+		}
+	} else if req.Sink != nil {
+		// A precomputed reference still streams, so a consumer sees the
+		// same row sequence whichever way the reference was supplied.
+		for gi, c := range refFam {
+			if err := rowEmit(req.Sink, true)(gi, c); err != nil {
+				return Result{}, err
+			}
 		}
 	}
 	if err := prebuild(ctx, req.Model); err != nil {
 		return Result{}, err
 	}
-	fam, err := familyOnce(ctx, req, req.Model)
-	if err != nil {
+	fam := make([]sweep.Curve, 0, len(req.Gates))
+	collect := func(gi int, c sweep.Curve) error {
+		fam = append(fam, c)
+		if req.Sink != nil {
+			return rowEmit(req.Sink, false)(gi, c)
+		}
+		return nil
+	}
+	if err := familyOnceTo(ctx, req, req.Model, collect); err != nil {
 		return Result{}, err
 	}
 	rms, err := sweep.CompareFamilies(fam, refFam)
@@ -364,7 +420,28 @@ func runMonteCarlo(ctx context.Context, req Request) (Result, error) {
 	if req.Samples < 1 {
 		return Result{}, invalidf("engine: %s needs Samples >= 1, got %d", req.Kind, req.Samples)
 	}
-	mc, err := variation.MonteCarloIDS(ctx, req.Device, req.Spread, req.Bias, req.Samples, req.Seed)
+	var every int
+	var emit func(variation.Partial) error
+	if req.Sink != nil {
+		// Checkpoint cadence: ~64 partials per study keeps a live
+		// convergence picture without flooding small runs or starving
+		// huge ones.
+		every = req.Samples / 64
+		if every < 1 {
+			every = 1
+		}
+		if every > 16384 {
+			every = 16384
+		}
+		emit = func(p variation.Partial) error {
+			ev := Event{MC: &MCEvent{Done: p.Done, Total: p.Total, Mean: p.Mean, Std: p.Std}}
+			if err := req.Sink.Emit(ev); err != nil {
+				return fmt.Errorf("%w: %w", ErrSinkClosed, err)
+			}
+			return nil
+		}
+	}
+	mc, err := variation.MonteCarloIDSTo(ctx, req.Device, req.Spread, req.Bias, req.Samples, req.Seed, every, emit)
 	if err != nil {
 		return Result{}, err
 	}

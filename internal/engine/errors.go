@@ -78,6 +78,10 @@ func classOf(err error) error {
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return ErrCanceled
+	case errors.Is(err, ErrSinkClosed):
+		// The streaming consumer went away; the job was abandoned, not
+		// numerically wrong.
+		return ErrCanceled
 	case errors.Is(err, ErrInvalidRequest):
 		return nil // invalid marks itself; no second class needed
 	case isNumerical(err):

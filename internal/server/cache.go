@@ -10,7 +10,12 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"cntfet/internal/core"
@@ -60,13 +65,28 @@ type cacheEntry struct {
 // ModelCache is a concurrency-safe keyed store of built models. The
 // zero value is not ready; use NewModelCache.
 type ModelCache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
+	mu          sync.Mutex
+	entries     map[cacheKey]*cacheEntry
+	snapshotDir string
 }
 
 // NewModelCache returns an empty cache.
 func NewModelCache() *ModelCache {
 	return &ModelCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// SetSnapshotDir points the cache at a directory of charge-table
+// snapshot files (fettoy.WriteSnapshot format, one "<key>.snap" per
+// reference model). With a dir set, a reference-family cache miss
+// first tries to warm-start its charge table from the matching file —
+// skipping the tabulation entirely, so fettoy.table.builds stays
+// untouched — and otherwise builds the table synchronously and writes
+// the snapshot back for the next process. Empty disables both sides.
+// Call before serving; the dir is read during Resolve.
+func (c *ModelCache) SetSnapshotDir(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapshotDir = dir
 }
 
 // Resolve returns the model a spec names, building it on first use.
@@ -100,7 +120,7 @@ func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver
 	reg.Counter(telemetry.KeyServerCacheMisses).Inc()
 	_, span := telemetry.StartSpan(ctx, telemetry.SpanServerModelBuild)
 	span.Set(telemetry.String(telemetry.AttrModelKey, key.String()))
-	m, err := build(family, dev)
+	m, err := c.build(ctx, key, family, dev)
 	if err != nil {
 		span.Set(telemetry.String(telemetry.AttrError, err.Error()))
 		span.End()
@@ -109,6 +129,86 @@ func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver
 	span.End()
 	e.model = m
 	return m, false, nil
+}
+
+// build constructs one model for the cache, adding charge-table
+// snapshot warm-start around the package-level build when a snapshot
+// dir is configured and the family is the table-backed reference.
+func (c *ModelCache) build(ctx context.Context, key cacheKey, family string, dev fettoy.Device) (device.Solver, error) {
+	c.mu.Lock()
+	dir := c.snapshotDir
+	c.mu.Unlock()
+	if dir == "" || familyOrDefault(family) != FamilyReference {
+		return build(family, dev)
+	}
+	ref, err := fettoy.New(dev)
+	if err != nil {
+		return nil, err
+	}
+	tab := ref.EnableTable(fettoy.TableOptions{})
+	path := filepath.Join(dir, snapshotFileName(key))
+	if loadSnapshot(tab, path) {
+		return ref, nil
+	}
+	// Cold start: pay the tabulation now — under this request's
+	// model_build span and deadline, where a lazy build would have run
+	// anyway — then persist it for the next process. A failed save is
+	// only a lost optimisation, not a failed job.
+	if err := tab.BuildContext(ctx); err != nil {
+		return nil, err
+	}
+	saveSnapshot(tab, path)
+	return ref, nil
+}
+
+// snapshotFileName renders a cache key as a file name: the key string
+// with its path separators flattened.
+func snapshotFileName(key cacheKey) string {
+	return strings.ReplaceAll(key.String(), "/", "_") + ".snap"
+}
+
+// loadSnapshot warm-starts tab from path, reporting success. A
+// missing file is the normal cold case; anything else (corruption,
+// identity mismatch, IO) counts a server.snapshot.errors and falls
+// back to building.
+func loadSnapshot(tab *fettoy.ChargeTable, path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			telemetry.Default().Counter(telemetry.KeyServerSnapshotErrors).Inc()
+		}
+		return false
+	}
+	defer f.Close()
+	if err := tab.ReadSnapshot(f); err != nil {
+		telemetry.Default().Counter(telemetry.KeyServerSnapshotErrors).Inc()
+		return false
+	}
+	return true
+}
+
+// saveSnapshot writes tab's grid to path atomically (temp file +
+// rename), best-effort.
+func saveSnapshot(tab *fettoy.ChargeTable, path string) {
+	fail := func() { telemetry.Default().Counter(telemetry.KeyServerSnapshotErrors).Inc() }
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		fail()
+		return
+	}
+	defer os.Remove(f.Name())
+	if err := tab.WriteSnapshot(f); err != nil {
+		f.Close()
+		fail()
+		return
+	}
+	if err := f.Close(); err != nil {
+		fail()
+		return
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		fail()
+	}
 }
 
 // Key renders the cache identity a spec resolves to, for logs and

@@ -1,0 +1,130 @@
+// coalesce.go collapses identical concurrent jobs into one engine
+// run. A dashboard fan-out or a retrying load balancer routinely
+// lands N byte-identical requests in the same instant; the model
+// cache already makes them share the built model, but each still paid
+// for its own sweep. Here the first request becomes the leader and
+// actually runs; followers arriving while it is in flight wait for
+// its Result and share it (engine results are immutable once
+// returned). The flight is keyed by the canonical re-encoding of the
+// decoded JobRequest, so requests coalesce exactly when they are
+// semantically identical — field order or whitespace on the wire
+// doesn't matter, any differing parameter does.
+//
+// Only buffered requests coalesce. A streamed response is an
+// interactive byte stream owned by one connection; sharing it would
+// mean buffering it, which is the opposite of streaming.
+//
+// Cancellation: the leader's engine run is detached from the leader's
+// own request context (a follower must not lose its result because
+// the leader hung up) and is cancelled only when every waiter has
+// gone. A waiter that disconnects early answers its own 499 and
+// leaves; the last one out cancels the flight.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"cntfet/internal/engine"
+	"cntfet/internal/telemetry"
+)
+
+// flight is one in-progress engine run plus everyone waiting on it.
+type flight struct {
+	done    chan struct{} // closed after res/err are set
+	res     engine.Result
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+	// abandoned marks a flight whose last waiter left before it
+	// finished: its run context is cancelled and its result (an
+	// ErrCanceled) must not be joined by new arrivals.
+	abandoned bool
+}
+
+// flightGroup deduplicates concurrent identical jobs. The zero value
+// is ready.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// coalesceKey canonicalises a decoded request. Marshalling the struct
+// (not the raw body bytes) normalises formatting and field order.
+func coalesceKey(jr JobRequest) (string, error) {
+	b, err := json.Marshal(jr)
+	if err != nil {
+		return "", fmt.Errorf("server: coalesce key: %w", err)
+	}
+	return string(b), nil
+}
+
+// run executes req, sharing the result with any concurrent identical
+// request. coalesced reports whether this caller joined an existing
+// flight rather than leading one.
+func (g *flightGroup) run(ctx context.Context, key string, req engine.Request) (res engine.Result, coalesced bool, err error) {
+	reg := telemetry.Default()
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = map[string]*flight{}
+	}
+	f := g.flights[key]
+	if f != nil && !f.abandoned {
+		f.waiters++
+		g.mu.Unlock()
+		reg.Counter(telemetry.KeyServerCoalesceHits).Inc()
+		res, err := g.wait(ctx, f)
+		return res, true, err
+	}
+	// Lead a new flight (possibly replacing an abandoned one — its
+	// goroutine deletes itself conditionally, so the replacement wins).
+	// The run context keeps the leader's trace and span values but not
+	// its cancellation: followers outlive the leader's connection.
+	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+	reg.Counter(telemetry.KeyServerCoalesceMisses).Inc()
+	go func() {
+		res, err := engine.Run(jctx, req)
+		g.mu.Lock()
+		// Delete before close so a request arriving after completion
+		// starts fresh instead of reading a stale flight. Conditional:
+		// an abandoned flight may already have been replaced.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		f.res, f.err = res, err
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	res, err = g.wait(ctx, f)
+	return res, false, err
+}
+
+// wait blocks until the flight completes or this waiter's own context
+// ends. The last waiter to leave an unfinished flight abandons it.
+func (g *flightGroup) wait(ctx context.Context, f *flight) (engine.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+	}
+	g.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	if last {
+		f.abandoned = true
+	}
+	g.mu.Unlock()
+	if last {
+		// Nobody wants the answer any more; stop computing it. The
+		// flight's goroutine still runs to completion of the cancel and
+		// removes the map entry.
+		f.cancel()
+	}
+	return engine.Result{}, fmt.Errorf("server: %w: request abandoned while coalesced: %w", engine.ErrCanceled, ctx.Err())
+}

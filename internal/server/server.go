@@ -65,6 +65,12 @@ type Config struct {
 	// Resolver resolves wire model descriptions. Nil means a fresh
 	// ModelCache; tests substitute fakes.
 	Resolver Resolver
+	// SnapshotDir, when set and Resolver is nil, points the default
+	// ModelCache at a directory of charge-table snapshots: reference
+	// models warm-start from "<key>.snap" when one matches, and write
+	// one after building otherwise, so a restarted replica's first
+	// reference job skips the tabulation (fettoy.table.builds stays 0).
+	SnapshotDir string
 	// AccessLog, when set, receives the structured NDJSON access/job
 	// log: one "access" record per request, one "job" record per
 	// /v1/jobs request that reached the engine, and — when span
@@ -87,7 +93,9 @@ func (c Config) withDefaults() Config {
 		c.MaxInFlight = runtime.GOMAXPROCS(0)
 	}
 	if c.Resolver == nil {
-		c.Resolver = NewModelCache()
+		mc := NewModelCache()
+		mc.SetSnapshotDir(c.SnapshotDir)
+		c.Resolver = mc
 	}
 	return c
 }
@@ -95,11 +103,12 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP front-end. Create one with New; drive it with
 // ListenAndServe or Serve and stop it with Shutdown.
 type Server struct {
-	cfg   Config
-	sem   chan struct{}
-	http  *http.Server
-	log   *telemetry.Logger
-	start time.Time
+	cfg     Config
+	sem     chan struct{}
+	http    *http.Server
+	log     *telemetry.Logger
+	start   time.Time
+	flights flightGroup
 }
 
 // New builds a Server from the config.
@@ -160,6 +169,10 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flusher — streamed responses flush through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // observe is the observability middleware every route runs under: it
 // roots the request's span (when tracing is enabled), times the
@@ -250,7 +263,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		)
 	}
 
-	res, err := engine.Run(ctx, req)
+	if wantsStream(jr, r) {
+		// Streamed responses bypass coalescing: the byte stream belongs
+		// to this connection alone. The deadline context still applies.
+		s.streamJob(w, r.WithContext(ctx), jr, req, meta)
+		return
+	}
+
+	// Buffered identical requests in flight at the same time share one
+	// engine run (coalesce.go); the key is the canonical re-encoding of
+	// the decoded request.
+	res, coalesced, err := s.runCoalesced(ctx, jr, req)
+	if coalesced {
+		telemetry.SpanFrom(ctx).Set(telemetry.Bool(telemetry.AttrCoalesced, true))
+	}
 	status := http.StatusOK
 	if err != nil {
 		var class string
@@ -266,6 +292,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logJob(ctx, jr.Kind, meta, status, res)
 	writeJSON(w, http.StatusOK, toWire(jr.Kind, res))
+}
+
+// runCoalesced routes a buffered job through the flight group. A
+// request whose key cannot be computed (never expected: JobRequest is
+// plain data) just runs alone.
+func (s *Server) runCoalesced(ctx context.Context, jr JobRequest, req engine.Request) (engine.Result, bool, error) {
+	key, err := coalesceKey(jr)
+	if err != nil {
+		res, runErr := engine.Run(ctx, req)
+		return res, false, runErr
+	}
+	return s.flights.run(ctx, key, req)
 }
 
 // logJob writes the per-job NDJSON record: one line per job that

@@ -164,6 +164,12 @@ type JobRequest struct {
 	DiameterSigma float64 `json:"diameter_sigma,omitempty"`
 	Samples       int     `json:"samples,omitempty"`
 	Seed          int64   `json:"seed,omitempty"`
+
+	// Stream asks for a chunked NDJSON response: one frame per result
+	// row (or Monte Carlo checkpoint) as it is computed, then a "done"
+	// frame — see StreamFrame. An "Accept: application/x-ndjson"
+	// request header selects the same path.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // kinds maps the wire kind names onto the engine's. Netlist jobs are

@@ -2,11 +2,8 @@ package sweep
 
 import (
 	"context"
-	"fmt"
 
 	"cntfet/internal/device"
-	"cntfet/internal/fettoy"
-	"cntfet/internal/telemetry"
 )
 
 // FamilyBatch evaluates one curve per gate voltage like Family, but
@@ -16,39 +13,14 @@ import (
 // per-call plumbing around it, and for the tabulated reference model,
 // which warm-starts along the row. Models without a batch path fall
 // back to Family unchanged. Cancellation is honoured between rows.
+// It is the collecting wrapper over FamilyBatchTo.
 func FamilyBatch(ctx context.Context, m device.Solver, vgs, vds []float64) ([]Curve, error) {
-	bm, ok := m.(device.BatchSolver)
-	if !ok {
-		return Family(ctx, m, vgs, vds)
+	out := make([]Curve, 0, len(vgs))
+	if err := FamilyBatchTo(ctx, m, vgs, vds, func(_ int, c Curve) error {
+		out = append(out, c)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	out := newFamily(vgs, vds)
-	bias := make([]fettoy.Bias, len(vds))
-	done := ctxDone(ctx)
-	for i, vg := range vgs {
-		select {
-		case <-done:
-			return nil, canceledErr(ctx)
-		default:
-		}
-		for j, vd := range vds {
-			bias[j] = fettoy.Bias{VG: vg, VD: vd}
-		}
-		// One span per VDS row — the batched path's scheduling unit —
-		// so a traced job shows where its row time went. Nil (free)
-		// while tracing is off.
-		_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepRow)
-		err := bm.IDSBatch(bias, out[i].IDS)
-		sp.Set(
-			telemetry.Float(telemetry.AttrVG, vg),
-			telemetry.Int(telemetry.AttrPoints, int64(len(vds))),
-		)
-		if err != nil {
-			sp.Set(telemetry.String(telemetry.AttrError, err.Error()))
-			sp.End()
-			return nil, fmt.Errorf("sweep: VG=%g: %w", vg, err)
-		}
-		sp.End()
-	}
-	countPoints(telemetry.Default(), false, -1, int64(len(vgs)*len(vds)), 0)
 	return out, nil
 }

@@ -1,0 +1,329 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"cntfet/internal/device"
+	"cntfet/internal/fettoy"
+	"cntfet/internal/telemetry"
+)
+
+// This file holds the emitting cores of the family sweep schedulers.
+// Each scheduler computes exactly what its buffered counterpart
+// computes — Family, FamilyBatch and FamilyParallel are thin
+// collecting wrappers over these — but hands completed rows to an
+// emit callback as they finish instead of accumulating the whole
+// grid. Rows are always delivered in gate order (index gi into vgs),
+// even from the out-of-order parallel scheduler, so a streaming
+// consumer sees the same sequence the buffered result would contain.
+//
+// Ownership of the emitted Curve (its VDS and IDS slices) transfers
+// to the callback; the scheduler does not touch the row again. A
+// non-nil error from emit aborts the sweep promptly and is returned
+// unchanged (not wrapped), so callers can classify a failing sink —
+// typically a disconnected client — distinctly from a failing solve.
+
+// FamilyTo is the serial scheduler behind Family: one Trace per gate
+// voltage, rows emitted in order as each completes. Cancellation is
+// honoured between rows.
+func FamilyTo(ctx context.Context, m device.Solver, vgs, vds []float64, emit func(gi int, c Curve) error) error {
+	done := ctxDone(ctx)
+	for gi, vg := range vgs {
+		select {
+		case <-done:
+			return canceledErr(ctx)
+		default:
+		}
+		c, err := Trace(m, vg, vds)
+		if err != nil {
+			return err
+		}
+		if err := emit(gi, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FamilyBatchTo is the batched scheduler behind FamilyBatch: each VDS
+// row goes through the model's optional device.BatchSolver capability
+// (falling back to FamilyTo when absent) and is emitted as soon as its
+// row kernel returns. Rows are allocated one at a time, so a consumer
+// that does not retain them keeps the scheduler's footprint at one row
+// regardless of grid size. Cancellation is honoured between rows.
+// sweep.points counts exactly the rows that completed before an abort.
+func FamilyBatchTo(ctx context.Context, m device.Solver, vgs, vds []float64, emit func(gi int, c Curve) error) error {
+	bm, ok := m.(device.BatchSolver)
+	if !ok {
+		return FamilyTo(ctx, m, vgs, vds, emit)
+	}
+	bias := make([]fettoy.Bias, len(vds))
+	done := ctxDone(ctx)
+	var points int64
+	defer func() { countPoints(telemetry.Default(), false, -1, points, 0) }()
+	for gi, vg := range vgs {
+		select {
+		case <-done:
+			return canceledErr(ctx)
+		default:
+		}
+		for j, vd := range vds {
+			bias[j] = fettoy.Bias{VG: vg, VD: vd}
+		}
+		c := Curve{VG: vg, VDS: append([]float64(nil), vds...), IDS: make([]float64, len(vds))}
+		// One span per VDS row — the batched path's scheduling unit —
+		// so a traced job shows where its row time went. Nil (free)
+		// while tracing is off.
+		_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepRow)
+		err := bm.IDSBatch(bias, c.IDS)
+		sp.Set(
+			telemetry.Float(telemetry.AttrVG, vg),
+			telemetry.Int(telemetry.AttrPoints, int64(len(vds))),
+		)
+		if err != nil {
+			sp.Set(telemetry.String(telemetry.AttrError, err.Error()))
+			sp.End()
+			return fmt.Errorf("sweep: VG=%g: %w", vg, err)
+		}
+		sp.End()
+		points += int64(len(vds))
+		if err := emit(gi, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowEmitter serialises in-order row delivery out of the parallel
+// scheduler's out-of-order chunk completion. Workers report finished
+// chunks; when every point of the frontier row (the lowest unemitted
+// gate index) has been attempted, the row is emitted under the mutex —
+// which doubles as backpressure: while one worker is blocked writing a
+// row to a slow consumer, the others keep solving, but no further rows
+// leave. Emitted slots are cleared so a streaming consumer that drops
+// rows after use keeps only the not-yet-complete tail of the grid
+// resident. A row containing numerical errors halts emission (the
+// sweep is going to fail; a consumer must not see rows past the first
+// bad one) without stopping the workers, which still drain to count
+// every failure.
+type rowEmitter struct {
+	mu        sync.Mutex
+	remaining []int // points not yet attempted, per row
+	bad       []bool
+	out       []Curve
+	next      int // frontier: first row not yet emitted
+	emit      func(gi int, c Curve) error
+	failed    error // first emit error; sticky
+	stopped   bool  // a bad row reached the frontier
+}
+
+func newRowEmitter(out []Curve, rowLen int, emit func(gi int, c Curve) error) *rowEmitter {
+	e := &rowEmitter{
+		remaining: make([]int, len(out)),
+		bad:       make([]bool, len(out)),
+		out:       out,
+		emit:      emit,
+	}
+	for i := range e.remaining {
+		e.remaining[i] = rowLen
+	}
+	return e
+}
+
+// complete records n attempted points (successes and failures alike)
+// against row gi, advances the emission frontier, and returns the
+// first emit error so the calling worker can abandon the task queue.
+func (e *rowEmitter) complete(gi, n, errs int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if errs > 0 {
+		e.bad[gi] = true
+	}
+	e.remaining[gi] -= n
+	if e.failed != nil {
+		return e.failed
+	}
+	for !e.stopped && e.next < len(e.out) && e.remaining[e.next] == 0 {
+		if e.bad[e.next] {
+			e.stopped = true
+			break
+		}
+		if err := e.emit(e.next, e.out[e.next]); err != nil {
+			e.failed = err
+			return err
+		}
+		e.out[e.next] = Curve{}
+		e.next++
+	}
+	return nil
+}
+
+func (e *rowEmitter) err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failed
+}
+
+// FamilyParallelTo is the chunked parallel scheduler behind
+// FamilyParallel — identical worker pool, chunking heuristic, batched
+// chunk kernel and warm-start fallback (see FamilyParallel for the
+// scheduling rationale) — with ordered row emission layered on top via
+// rowEmitter. Cancellation, first-error and telemetry semantics match
+// FamilyParallel exactly; an emit error additionally stops every
+// worker at its next chunk boundary and is returned unchanged unless
+// the context was also canceled, which takes precedence.
+func FamilyParallelTo(ctx context.Context, m device.Solver, vgs, vds []float64, workers int, emit func(gi int, c Curve) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := newFamily(vgs, vds)
+
+	// Chunking heuristic: see FamilyParallel. Chunks never span rows,
+	// so a row's completion is observable at chunk granularity.
+	span := (len(vgs)*len(vds) + 4*workers - 1) / (4 * workers)
+	if span < 8 {
+		span = 8
+	}
+	if span > len(vds) {
+		span = len(vds)
+	}
+	if span < 1 {
+		span = 1
+	}
+
+	type chunk struct{ gi, lo, hi int }
+	nchunks := 0
+	if span > 0 {
+		perRow := (len(vds) + span - 1) / span
+		nchunks = perRow * len(vgs)
+	}
+	tasks := make(chan chunk, nchunks)
+	for gi := range vgs {
+		for lo := 0; lo < len(vds); lo += span {
+			hi := lo + span
+			if hi > len(vds) {
+				hi = len(vds)
+			}
+			tasks <- chunk{gi, lo, hi}
+		}
+	}
+	close(tasks)
+
+	// First-error capture without a per-point mutex: the winning worker
+	// records once, later errors only bump the shared counter.
+	var firstErr error
+	var errOnce sync.Once
+
+	em := newRowEmitter(out, len(vds), emit)
+
+	ws, warm := m.(device.WarmStarter)
+	bs, batch := m.(device.BatchSolver)
+	done := ctxDone(ctx)
+	on := telemetry.On()
+	reg := telemetry.Default()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var points, errs int64
+			// Per-worker bias scratch for the batched chunk path: one
+			// allocation per worker for the whole sweep, sized to the
+			// largest chunk. Lazy so non-batch models pay nothing.
+			var biasBuf []fettoy.Bias
+			if on {
+				defer reg.Timer(fmt.Sprintf(telemetry.KeySweepWorkerTimeFmt, w)).Start()()
+			}
+			defer func() { countPoints(reg, on, w, points, errs) }()
+		drain:
+			for ck := range tasks {
+				// One span per chunk — the scheduler's work unit — keeps
+				// tracing cost off the per-point path while still showing
+				// which worker ran which run of points. Nil (free) while
+				// tracing is off.
+				_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepChunk)
+				chunkPoints, chunkErrs := points, errs
+				if batch {
+					// Batched chunk path: hand the whole [lo, hi) run to
+					// the model's row kernel (zero-alloc closed form for
+					// the piecewise family, warm-started table Newton for
+					// the reference). Cancellation is honoured per chunk
+					// here — a chunk is at most one VDS row, the same
+					// granularity FamilyBatch uses.
+					select {
+					case <-done:
+						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
+						break drain
+					default:
+					}
+					if biasBuf == nil {
+						biasBuf = make([]fettoy.Bias, span)
+					}
+					n := ck.hi - ck.lo
+					for vi := ck.lo; vi < ck.hi; vi++ {
+						biasBuf[vi-ck.lo] = fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
+					}
+					if err := bs.IDSBatch(biasBuf[:n], out[ck.gi].IDS[ck.lo:ck.hi]); err == nil {
+						points += int64(n)
+						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
+						if em.complete(ck.gi, n, 0) != nil {
+							break drain
+						}
+						continue
+					}
+					// The batch failed somewhere in the run: fall through
+					// to the per-point loop, which redoes the chunk to
+					// attribute the failing point exactly and keep the
+					// healthy neighbours — batch errors stay as non-silent
+					// and non-aborting as per-point ones.
+				}
+				guess := math.NaN()
+				for vi := ck.lo; vi < ck.hi; vi++ {
+					select {
+					case <-done:
+						// The tasks channel is pre-filled and closed, so
+						// abandoning the range leaves no blocked sender.
+						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
+						break drain
+					default:
+					}
+					b := fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
+					var ids float64
+					var err error
+					if warm {
+						ids, guess, err = ws.IDSFrom(b, guess)
+					} else {
+						ids, err = m.IDS(b)
+					}
+					if err != nil {
+						errs++
+						errOnce.Do(func() {
+							firstErr = fmt.Errorf("sweep: VG=%g VDS=%g: %w", b.VG, b.VD, err)
+						})
+						guess = math.NaN()
+						continue
+					}
+					points++
+					out[ck.gi].IDS[vi] = ids
+				}
+				endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
+				attempted := int(points - chunkPoints + errs - chunkErrs)
+				if em.complete(ck.gi, attempted, int(errs-chunkErrs)) != nil {
+					break drain
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return canceledErr(ctx)
+	}
+	if err := em.err(); err != nil {
+		return err
+	}
+	return firstErr
+}

@@ -3,7 +3,6 @@ package sweep
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -43,150 +42,15 @@ import (
 // overhead that used to make the piecewise models prefer the serial
 // paths, and the reference model parallelises its ~1 µs tabulated (or
 // ~100 µs quadrature) points across cores.
+// It is the collecting wrapper over FamilyParallelTo, which emits
+// rows in gate order as they complete.
 func FamilyParallel(ctx context.Context, m device.Solver, vgs, vds []float64, workers int) ([]Curve, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	out := newFamily(vgs, vds)
-
-	// Chunking heuristic: aim for ~4 chunks per worker across the whole
-	// grid, so the tail imbalance when workers finish out of step stays
-	// around a quarter of one worker's share, while the channel still
-	// sees ~4 sends per worker instead of one per point. Two bounds
-	// temper the target: chunks never span rows (a row is the
-	// warm-start continuation unit), and never shrink below 8 points
-	// (continuation needs runs of neighbouring points to pay off).
-	span := (len(vgs)*len(vds) + 4*workers - 1) / (4 * workers)
-	if span < 8 {
-		span = 8
-	}
-	if span > len(vds) {
-		span = len(vds)
-	}
-	if span < 1 {
-		span = 1
-	}
-
-	type chunk struct{ gi, lo, hi int }
-	nchunks := 0
-	if span > 0 {
-		perRow := (len(vds) + span - 1) / span
-		nchunks = perRow * len(vgs)
-	}
-	tasks := make(chan chunk, nchunks)
-	for gi := range vgs {
-		for lo := 0; lo < len(vds); lo += span {
-			hi := lo + span
-			if hi > len(vds) {
-				hi = len(vds)
-			}
-			tasks <- chunk{gi, lo, hi}
-		}
-	}
-	close(tasks)
-
-	// First-error capture without a per-point mutex: the winning worker
-	// records once, later errors only bump the shared counter.
-	var firstErr error
-	var errOnce sync.Once
-
-	ws, warm := m.(device.WarmStarter)
-	bs, batch := m.(device.BatchSolver)
-	done := ctxDone(ctx)
-	on := telemetry.On()
-	reg := telemetry.Default()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var points, errs int64
-			// Per-worker bias scratch for the batched chunk path: one
-			// allocation per worker for the whole sweep, sized to the
-			// largest chunk. Lazy so non-batch models pay nothing.
-			var biasBuf []fettoy.Bias
-			if on {
-				defer reg.Timer(fmt.Sprintf(telemetry.KeySweepWorkerTimeFmt, w)).Start()()
-			}
-			defer func() { countPoints(reg, on, w, points, errs) }()
-		drain:
-			for ck := range tasks {
-				// One span per chunk — the scheduler's work unit — keeps
-				// tracing cost off the per-point path while still showing
-				// which worker ran which run of points. Nil (free) while
-				// tracing is off.
-				_, sp := telemetry.StartSpan(ctx, telemetry.SpanSweepChunk)
-				chunkPoints := points
-				if batch {
-					// Batched chunk path: hand the whole [lo, hi) run to
-					// the model's row kernel (zero-alloc closed form for
-					// the piecewise family, warm-started table Newton for
-					// the reference). Cancellation is honoured per chunk
-					// here — a chunk is at most one VDS row, the same
-					// granularity FamilyBatch uses.
-					select {
-					case <-done:
-						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
-						break drain
-					default:
-					}
-					if biasBuf == nil {
-						biasBuf = make([]fettoy.Bias, span)
-					}
-					n := ck.hi - ck.lo
-					for vi := ck.lo; vi < ck.hi; vi++ {
-						biasBuf[vi-ck.lo] = fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
-					}
-					if err := bs.IDSBatch(biasBuf[:n], out[ck.gi].IDS[ck.lo:ck.hi]); err == nil {
-						points += int64(n)
-						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
-						continue
-					}
-					// The batch failed somewhere in the run: fall through
-					// to the per-point loop, which redoes the chunk to
-					// attribute the failing point exactly and keep the
-					// healthy neighbours — batch errors stay as non-silent
-					// and non-aborting as per-point ones.
-				}
-				guess := math.NaN()
-				for vi := ck.lo; vi < ck.hi; vi++ {
-					select {
-					case <-done:
-						// The tasks channel is pre-filled and closed, so
-						// abandoning the range leaves no blocked sender.
-						endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
-						break drain
-					default:
-					}
-					b := fettoy.Bias{VG: vgs[ck.gi], VD: vds[vi]}
-					var ids float64
-					var err error
-					if warm {
-						ids, guess, err = ws.IDSFrom(b, guess)
-					} else {
-						ids, err = m.IDS(b)
-					}
-					if err != nil {
-						errs++
-						errOnce.Do(func() {
-							firstErr = fmt.Errorf("sweep: VG=%g VDS=%g: %w", b.VG, b.VD, err)
-						})
-						guess = math.NaN()
-						continue
-					}
-					points++
-					out[ck.gi].IDS[vi] = ids
-				}
-				endChunkSpan(sp, w, vgs[ck.gi], points-chunkPoints)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if ctx != nil && ctx.Err() != nil {
-		return nil, canceledErr(ctx)
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	out := make([]Curve, 0, len(vgs))
+	if err := FamilyParallelTo(ctx, m, vgs, vds, workers, func(_ int, c Curve) error {
+		out = append(out, c)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

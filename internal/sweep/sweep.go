@@ -40,20 +40,14 @@ func Trace(m device.Solver, vg float64, vds []float64) (Curve, error) {
 // Family evaluates one curve per gate voltage on a shared VDS grid.
 // Cancellation is honoured between rows: a canceled context returns an
 // error wrapping context.Canceled (or the cancel cause) and no curves.
+// It is the collecting wrapper over FamilyTo.
 func Family(ctx context.Context, m device.Solver, vgs, vds []float64) ([]Curve, error) {
 	out := make([]Curve, 0, len(vgs))
-	done := ctxDone(ctx)
-	for _, vg := range vgs {
-		select {
-		case <-done:
-			return nil, canceledErr(ctx)
-		default:
-		}
-		c, err := Trace(m, vg, vds)
-		if err != nil {
-			return nil, err
-		}
+	if err := FamilyTo(ctx, m, vgs, vds, func(_ int, c Curve) error {
 		out = append(out, c)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

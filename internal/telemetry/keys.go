@@ -51,6 +51,11 @@ const (
 	// KeyFettoyTableMisses counts lookups that fell back to direct
 	// quadrature (out of tabulated range, or a failed table solve).
 	KeyFettoyTableMisses = "fettoy.table.misses"
+	// KeyFettoyTableSnapshotLoads counts charge tables published from a
+	// deserialized snapshot instead of an adaptive build (warm starts).
+	KeyFettoyTableSnapshotLoads = "fettoy.table.snapshot_loads"
+	// KeyFettoyTableSnapshotSaves counts charge-table snapshots written.
+	KeyFettoyTableSnapshotSaves = "fettoy.table.snapshot_saves"
 )
 
 // Timer and histogram keys of the reference model.
@@ -120,6 +125,23 @@ const (
 	// build (reference construction, charge-table attach, or a
 	// piecewise fit).
 	KeyServerCacheMisses = "server.cache.misses"
+	// KeyServerStreamRequests counts jobs answered as chunked NDJSON
+	// streams (the stream request field or an x-ndjson Accept header).
+	KeyServerStreamRequests = "server.stream.requests"
+	// KeyServerStreamRows counts result rows flushed to streaming
+	// clients (sweep rows and Monte Carlo checkpoints alike).
+	KeyServerStreamRows = "server.stream.rows"
+	// KeyServerCoalesceHits counts job requests that joined another
+	// request's in-flight identical job instead of running their own.
+	KeyServerCoalesceHits = "server.coalesce.hits"
+	// KeyServerCoalesceMisses counts coalescable job requests that
+	// found no identical job in flight and became the leader of one.
+	KeyServerCoalesceMisses = "server.coalesce.misses"
+	// KeyServerSnapshotErrors counts charge-table snapshot load/save
+	// attempts that failed (corrupt file, mismatched device, I/O); the
+	// server falls back to an ordinary build, so these are the only
+	// evidence snapshots are not serving.
+	KeyServerSnapshotErrors = "server.snapshot.errors"
 )
 
 // Counter and histogram keys of the engine job layer. The jobs
@@ -151,6 +173,9 @@ const (
 	// SpanServerModelBuild covers one model-cache miss: reference
 	// construction plus charge-table attach, or a piecewise fit.
 	SpanServerModelBuild = "server.model_build"
+	// SpanServerStream covers the response-writing half of one
+	// streamed job: first row to last flush, with the row count.
+	SpanServerStream = "server.stream"
 	// SpanEngineJob covers one engine.Run job; its Metrics carry the
 	// job's telemetry counter deltas.
 	SpanEngineJob = "engine.job"
@@ -192,6 +217,14 @@ const (
 	// AttrCacheHit reports whether the model cache served the request
 	// without a build.
 	AttrCacheHit = "cache_hit"
+	// AttrStream reports whether the response was a chunked NDJSON
+	// stream.
+	AttrStream = "stream"
+	// AttrCoalesced reports whether the job's result came from a
+	// shared in-flight run instead of a run of its own.
+	AttrCoalesced = "coalesced"
+	// AttrRows counts result rows flushed by a streamed response.
+	AttrRows = "rows"
 	// AttrGates and AttrDrains are the sweep grid dimensions.
 	AttrGates  = "gates"
 	AttrDrains = "drains"

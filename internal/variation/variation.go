@@ -65,12 +65,41 @@ func summarize(samples []float64) Result {
 	return r
 }
 
+// Partial is a running statistic of an in-flight Monte Carlo study,
+// emitted by MonteCarloIDSTo so long runs can report convergence live
+// instead of going silent until the last sample.
+type Partial struct {
+	// Done is the number of samples folded in so far; Total the
+	// requested study size.
+	Done, Total int
+	// Mean and Std are the running sample statistics over the first
+	// Done samples (Std uses the n-1 denominator, matching Result;
+	// zero while Done < 2).
+	Mean, Std float64
+}
+
 // MonteCarloIDS draws n device variants around the base device and
 // returns the distribution of drain current at the given bias,
 // evaluated with the paper's Model 2. The run is deterministic in the
 // seed. Cancellation is honoured between samples: a canceled context
 // aborts the study with an error wrapping the context's cause.
+// It is the non-emitting wrapper over MonteCarloIDSTo.
 func MonteCarloIDS(ctx context.Context, base fettoy.Device, spread Spread, bias fettoy.Bias, n int, seed int64) (Result, error) {
+	return MonteCarloIDSTo(ctx, base, spread, bias, n, seed, 0, nil)
+}
+
+// MonteCarloIDSTo is MonteCarloIDS with streamed partial statistics:
+// after every `every` samples (and always after the last) it hands
+// the emit callback a Partial with the running mean and standard
+// deviation, maintained by Welford's algorithm so no second pass over
+// the samples is needed. every <= 0 or a nil emit disables emission,
+// which is the buffered MonteCarloIDS path. A non-nil error from emit
+// aborts the study and is returned unchanged, so callers can classify
+// a failing sink — typically a disconnected client — distinctly from
+// a failing solve. The returned Result is identical to the buffered
+// path's (summarize runs over the full sample set at the end; the
+// draws do not depend on the emission cadence).
+func MonteCarloIDSTo(ctx context.Context, base fettoy.Device, spread Spread, bias fettoy.Bias, n int, seed int64, every int, emit func(Partial) error) (Result, error) {
 	if n < 1 {
 		return Result{}, fmt.Errorf("variation: need at least one sample")
 	}
@@ -92,6 +121,8 @@ func MonteCarloIDS(ctx context.Context, base fettoy.Device, spread Spread, bias 
 	if ctx != nil {
 		done = ctx.Done()
 	}
+	// Welford running moments for the streamed partials.
+	var mean, m2 float64
 	for i := 0; i < n; i++ {
 		select {
 		case <-done:
@@ -130,6 +161,20 @@ func MonteCarloIDS(ctx context.Context, base fettoy.Device, spread Spread, bias 
 			return Result{}, fmt.Errorf("variation: sample %d: %w", i, err)
 		}
 		samples = append(samples, ids)
+		if emit != nil && every > 0 {
+			d := ids - mean
+			mean += d / float64(i+1)
+			m2 += d * (ids - mean)
+			if (i+1)%every == 0 || i+1 == n {
+				p := Partial{Done: i + 1, Total: n, Mean: mean}
+				if i > 0 {
+					p.Std = math.Sqrt(m2 / float64(i))
+				}
+				if err := emit(p); err != nil {
+					return Result{}, err
+				}
+			}
+		}
 	}
 	return summarize(samples), nil
 }

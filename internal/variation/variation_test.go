@@ -2,6 +2,7 @@ package variation
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -107,5 +108,65 @@ func TestSensitivitySign(t *testing.T) {
 	}
 	if sens <= 0 {
 		t.Fatalf("dIDS/dEF = %g, want positive", sens)
+	}
+}
+
+// TestMonteCarloStreamedPartials checks the emitting core: partials
+// arrive at the requested cadence plus a final one, the draws are
+// unaffected by emission, and the last partial agrees with the
+// summary statistics.
+func TestMonteCarloStreamedPartials(t *testing.T) {
+	want, err := MonteCarloIDS(context.Background(), fettoy.Default(), Spread{EF: 0.02}, bias, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []Partial
+	got, err := MonteCarloIDSTo(context.Background(), fettoy.Default(), Spread{EF: 0.02}, bias, 25, 7, 10, func(p Partial) error {
+		parts = append(parts, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Samples {
+		if want.Samples[i] != got.Samples[i] { //lint:allow floatcmp emission must not perturb the draws
+			t.Fatalf("sample %d differs between buffered and emitting runs", i)
+		}
+	}
+	wantDone := []int{10, 20, 25}
+	if len(parts) != len(wantDone) {
+		t.Fatalf("got %d partials, want %d (%+v)", len(parts), len(wantDone), parts)
+	}
+	for i, p := range parts {
+		if p.Done != wantDone[i] || p.Total != 25 {
+			t.Fatalf("partial %d = %+v, want Done=%d Total=25", i, p, wantDone[i])
+		}
+	}
+	last := parts[len(parts)-1]
+	if math.Abs(last.Mean-want.Mean) > 1e-12*math.Abs(want.Mean) {
+		t.Fatalf("final partial mean %g vs summary %g", last.Mean, want.Mean)
+	}
+	if math.Abs(last.Std-want.Std) > 1e-9*math.Abs(want.Mean) {
+		t.Fatalf("final partial std %g vs summary %g", last.Std, want.Std)
+	}
+}
+
+// TestMonteCarloEmitErrorAborts checks that a failing sink stops the
+// study and surfaces the sink's error unchanged.
+func TestMonteCarloEmitErrorAborts(t *testing.T) {
+	sentinel := errors.New("sink gone")
+	calls := 0
+	_, err := MonteCarloIDSTo(context.Background(), fettoy.Default(), Spread{EF: 0.02}, bias, 50, 7, 5, func(p Partial) error {
+		calls++
+		if p.Done >= 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sink sentinel", err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d partials delivered, want 2", calls)
 	}
 }
