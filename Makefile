@@ -15,8 +15,11 @@ check: lint build test race benchsmoke servesmoke
 
 ## lint: go vet plus the project analyzer suite (cmd/cntlint):
 ## telemetry key registry, context propagation, float comparisons,
-## atomic field discipline, unit documentation. Suppress a finding
-## with //lint:allow <analyzer> <reason> on or above the line.
+## atomic field discipline, unit documentation, error-wrap chains,
+## zero-alloc annotations, sink/goroutine contracts and the error
+## taxonomy <-> HTTP status map. Suppress a finding with
+## //lint:allow <analyzer> <reason> on or above the line; cntlint
+## -fix applies suggested fixes, -json/-github change the output.
 lint: vet
 	$(GO) run ./cmd/cntlint ./...
 

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,5 +75,48 @@ func TestCheckGate(t *testing.T) {
 	}
 	if _, err := checkGate(docWith(860, 5000), base, 0); err != nil {
 		t.Errorf("default threshold rejected a within-15%% run: %v", err)
+	}
+}
+
+// TestLoadBenchDocErrors pins the two baseline failure modes to
+// distinct, actionable messages: "not found" tells you to create the
+// baseline, "unparseable" tells you the file rotted and must be
+// refreshed — the gate never runs against garbage.
+func TestLoadBenchDocErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "BENCH_sweep.json")
+	_, err := loadBenchDoc(missing)
+	if err == nil {
+		t.Fatal("loadBenchDoc(missing) succeeded")
+	}
+	if !strings.Contains(err.Error(), "not found") || !strings.Contains(err.Error(), "make bench") {
+		t.Errorf("missing-baseline error %q lacks the not-found guidance", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing-baseline error %q does not wrap os.ErrNotExist", err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"batched": {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadBenchDoc(corrupt)
+	if err == nil {
+		t.Fatal("loadBenchDoc(corrupt) succeeded")
+	}
+	if !strings.Contains(err.Error(), "unparseable") || !strings.Contains(err.Error(), "make bench") {
+		t.Errorf("corrupt-baseline error %q lacks the refresh guidance", err)
+	}
+	if strings.Contains(err.Error(), "not found") {
+		t.Errorf("corrupt-baseline error %q reads like a missing file", err)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchDoc(good); err != nil {
+		t.Errorf("loadBenchDoc(good) = %v, want nil", err)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -331,15 +332,23 @@ func maxFamilyRMS(got, want []sweep.Curve) (float64, error) {
 	return max, nil
 }
 
-// loadBenchDoc reads a checked-in BENCH_sweep.json baseline.
+// loadBenchDoc reads a checked-in BENCH_sweep.json baseline. The two
+// failure modes get distinct messages because they demand different
+// fixes: a missing baseline means nobody has run the benchmark yet
+// (create it), while an unparseable one means the file rotted — a bad
+// merge, a truncated artifact download — and gating silently against
+// garbage would be worse than failing (refresh it).
 func loadBenchDoc(path string) (*sweepBenchDoc, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("baseline %s not found — run `make bench` to create it: %w", path, err)
+		}
 		return nil, err
 	}
 	var doc sweepBenchDoc
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("baseline %s exists but is unparseable — refresh it with `make bench` (or restore it from a good artifact): %w", path, err)
 	}
 	return &doc, nil
 }

@@ -1,46 +1,72 @@
 // Command cntlint is the project's multichecker: it runs the
-// internal/analysis suite — telemetrykeys, ctxpropagate, floatcmp,
-// atomicfield, unitsdoc — over the given package patterns and prints
-// one line per finding. Exit status 2 means findings (the go vet
-// convention), 1 means the tool itself failed, 0 means clean.
+// internal/analysis suite — atomicfield, ctxpropagate, errwrap,
+// floatcmp, httpstatus, sinkcontract, telemetrykeys, unitsdoc,
+// zeroalloc — over the given package patterns and prints one line per
+// finding. Exit status 2 means findings (the go vet convention), 1
+// means the tool itself failed, 0 means clean.
 //
 // Usage:
 //
-//	cntlint [-run name,name] [packages ...]
+//	cntlint [-run name,name] [-json|-github] [-fix] [packages ...]
 //
-// With no patterns it checks ./... . Findings can be suppressed per
-// line with //lint:allow <analyzer> (see internal/analysis); make lint
-// runs this binary over the whole module.
+// With no patterns it checks ./... . Output modes:
+//
+//   - default: one human-readable line per finding
+//   - -json: a JSON array of findings, for tooling
+//   - -github: GitHub Actions workflow commands (::error ...), so CI
+//     findings surface as inline annotations on the PR diff
+//   - -fix: apply the suggested fixes some analyzers attach (errwrap's
+//     %v→%w rewrite, sinkcontract's allow-annotation scaffold), write
+//     the files, and report what remains; exit 2 only if findings
+//     survive the rewrite
+//
+// Findings can be suppressed per line with //lint:allow <analyzer>
+// (see internal/analysis); make lint runs this binary over the whole
+// module.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"cntfet/internal/analysis"
 	"cntfet/internal/analysis/atomicfield"
 	"cntfet/internal/analysis/ctxpropagate"
+	"cntfet/internal/analysis/errwrap"
 	"cntfet/internal/analysis/floatcmp"
+	"cntfet/internal/analysis/httpstatus"
+	"cntfet/internal/analysis/sinkcontract"
 	"cntfet/internal/analysis/telemetrykeys"
 	"cntfet/internal/analysis/unitsdoc"
+	"cntfet/internal/analysis/zeroalloc"
 )
 
 // suite is the full analyzer set, in reporting order.
 var suite = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	ctxpropagate.Analyzer,
+	errwrap.Analyzer,
 	floatcmp.Analyzer,
+	httpstatus.Analyzer,
+	sinkcontract.Analyzer,
 	telemetrykeys.Analyzer,
 	unitsdoc.Analyzer,
+	zeroalloc.Analyzer,
 }
 
 func main() {
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
+	github := flag.Bool("github", false, "print findings as GitHub Actions ::error annotations")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place, report what remains")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cntlint [-run name,name] [packages ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cntlint [-run name,name] [-json|-github] [-fix] [packages ...]\n\nAnalyzers:\n")
 		for _, a := range suite {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -57,8 +83,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cntlint:", err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *fix {
+		var applied int
+		diags, applied, err = applyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cntlint:", err)
+			os.Exit(1)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "cntlint: applied %d fix(es)\n", applied)
+		}
+	}
+	switch {
+	case *jsonOut:
+		printJSON(diags)
+	case *github:
+		printGitHub(diags)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "cntlint: %d finding(s)\n", len(diags))
@@ -93,4 +137,105 @@ func Lint(runNames string, patterns ...string) ([]analysis.Diagnostic, error) {
 		return nil, err
 	}
 	return analysis.Run(analyzers, pkgs)
+}
+
+// applyFixes writes every suggested fix to disk and returns the
+// findings that had none — the ones still demanding a human.
+func applyFixes(diags []analysis.Diagnostic) (remaining []analysis.Diagnostic, applied int, err error) {
+	var fixable []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.Fix) > 0 {
+			fixable = append(fixable, d)
+		} else {
+			remaining = append(remaining, d)
+		}
+	}
+	if len(fixable) == 0 {
+		return remaining, 0, nil
+	}
+	files, err := analysis.ApplyFixes(fixable)
+	if err != nil {
+		return nil, 0, fmt.Errorf("apply fixes: %w", err)
+	}
+	for file, content := range files {
+		info, err := os.Stat(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := os.WriteFile(file, content, info.Mode().Perm()); err != nil {
+			return nil, 0, err
+		}
+	}
+	return remaining, len(fixable), nil
+}
+
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+func printJSON(diags []analysis.Diagnostic) {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+			Fixable:  len(d.Fix) > 0,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(findings)
+}
+
+// printGitHub emits one workflow command per finding. The runner
+// parses these from stdout and renders them as inline annotations on
+// the changed files.
+func printGitHub(diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Printf("::error file=%s,line=%d,col=%d,title=cntlint/%s::%s\n",
+			escapeProperty(relPath(d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+			escapeProperty(d.Analyzer), escapeData(d.Message))
+	}
+}
+
+// relPath relativizes an absolute diagnostic path against the working
+// directory: annotations must use repo-relative paths to attach to
+// the diff.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+// escapeData escapes a workflow-command message per the Actions
+// toolkit rules.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

@@ -166,6 +166,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:allow goroutine errc is buffered (cap 1) and Serve returns exactly once, so the send never blocks
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "cntserve: serving on %s\n", *addr)
 
@@ -227,6 +228,7 @@ func runSelftest(cfg server.Config, logBuf *syncBuffer, drain time.Duration) err
 		return err
 	}
 	errc := make(chan error, 1)
+	//lint:allow goroutine errc is buffered (cap 1) and Serve returns exactly once, so the send never blocks
 	go func() { errc <- srv.Serve(l) }()
 
 	body := `{
@@ -389,6 +391,7 @@ func runSelftest(cfg server.Config, logBuf *syncBuffer, drain time.Duration) err
 		return err
 	}
 	errc2 := make(chan error, 1)
+	//lint:allow goroutine errc2 is buffered (cap 1) and Serve returns exactly once, so the send never blocks
 	go func() { errc2 <- srv2.Serve(l2) }()
 	base2 := fmt.Sprintf("http://%s", l2.Addr())
 	buildsBefore = reg.Counter(telemetry.KeyFettoyTableBuilds).Value()

@@ -40,14 +40,30 @@ type Analyzer struct {
 	// Doc is the one-paragraph description cntlint -help prints.
 	Doc string
 	// Run inspects one package and reports findings via pass.Reportf.
+	// Nil for analyzers that only need the module-wide phase.
 	Run func(*Pass) error
+	// RunModule, when non-nil, runs once after every package's Run,
+	// over the whole loaded package set — the hook for cross-package
+	// invariants (the httpstatus class↔mapping check) that no single
+	// package can see.
+	RunModule func(*ModulePass) error
+}
+
+// Edit is one suggested textual fix: replace [Offset, End) of File
+// with New. Offsets are byte offsets into the file as loaded.
+type Edit struct {
+	File        string
+	Offset, End int
+	New         string
 }
 
 // Diagnostic is one finding, already resolved to a file position.
+// A non-empty Fix carries the mechanical remedy -fix mode applies.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fix      []Edit
 }
 
 func (d Diagnostic) String() string {
@@ -70,6 +86,8 @@ type Package struct {
 	// allow maps file:line to the analyzer names allowed there, built
 	// once from the //lint:allow comments of every file.
 	allow map[string]map[string]bool
+	// callgraph is the lazily built intra-package callgraph.
+	callgraph *CallGraph
 }
 
 // Pass carries one (analyzer, package) pairing, collecting diagnostics.
@@ -89,15 +107,45 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 // Reportf records a finding at pos unless a //lint:allow annotation on
 // that line (or the line above) names this analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", nil, format, args...)
+}
+
+// ReportfFix is Reportf with a suggested mechanical fix attached, for
+// -fix mode. Build the edits with p.Edit.
+func (p *Pass) ReportfFix(pos token.Pos, fix []Edit, format string, args ...any) {
+	p.report(pos, "", fix, format, args...)
+}
+
+// ReportfAllow is Reportf with an additional allow-comment alias: the
+// diagnostic is also suppressed by //lint:allow <alias>. Used where a
+// sub-rule has its own documented vocabulary (//lint:allow goroutine)
+// distinct from the analyzer's name.
+func (p *Pass) ReportfAllow(alias string, pos token.Pos, fix []Edit, format string, args ...any) {
+	p.report(pos, alias, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, alias string, fix []Edit, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	if alias != "" && p.Pkg.allowed(alias, position) {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
+}
+
+// Edit builds one suggested-fix edit replacing the [pos, end) source
+// range with new text, resolving token positions to byte offsets.
+func (p *Pass) Edit(pos, end token.Pos, newText string) Edit {
+	from := p.Pkg.Fset.Position(pos)
+	to := p.Pkg.Fset.Position(end)
+	return Edit{File: from.Filename, Offset: from.Offset, End: to.Offset, New: newText}
 }
 
 var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,\- ]+)`)
@@ -146,8 +194,32 @@ func (pkg *Package) allowed(name string, pos token.Position) bool {
 	return false
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by file position.
+// ModulePass carries one analyzer's module-wide phase: every loaded
+// package at once, for invariants that span package boundaries.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a module-phase finding at pos inside pkg,
+// honouring pkg's //lint:allow annotations like the per-package phase.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	if pkg.allowed(mp.Analyzer.Name, position) {
+		return
+	}
+	mp.diags = append(mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package — then every analyzer's
+// module phase to the whole set — and returns the combined findings
+// sorted by file position.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -155,12 +227,25 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			pkg.buildAllow()
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 			out = append(out, pass.diags...)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s module phase: %w", a.Name, err)
+		}
+		out = append(out, mp.diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -10,13 +10,17 @@
 //	telemetry.Default().Counter("oops").Inc() // want `telemetry key`
 //
 // where the backquoted text is a regular expression that must match a
-// diagnostic reported on that line. Lines without a want comment must
-// produce no diagnostics.
+// diagnostic reported on that line. One want comment may carry several
+// backquoted patterns (`a` `b`) when a line expects several
+// diagnostics. Lines without a want comment must produce no
+// diagnostics.
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -25,7 +29,10 @@ import (
 	"cntfet/internal/analysis"
 )
 
-var wantRE = regexp.MustCompile("// want `([^`]*)`")
+var (
+	wantRE = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
+	patRE  = regexp.MustCompile("`([^`]*)`")
+)
 
 // Run loads each fixture package under testdata/src and applies the
 // analyzer, failing t on any mismatch between reported and expected
@@ -44,30 +51,60 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []
 		if err != nil {
 			t.Fatalf("run %s on %s: %v", a.Name, name, err)
 		}
-		check(t, pkg, diags)
+		check(t, []*analysis.Package{pkg}, diags)
 		all = append(all, diags...)
 	}
 	return all
 }
 
-// check compares diagnostics against the fixture's want comments.
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+// RunModule loads every fixture package with one loader — in order,
+// so a later fixture may import an earlier sibling by its package
+// name — and applies the analyzer to the combined set in a single
+// analysis.Run. This is the entry point for module-phase analyzers,
+// whose diagnostics only exist when both sides of a cross-package
+// contract are loaded together.
+func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	loader := analysis.NewLoader("")
+	var loaded []*analysis.Package
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", dir, err)
+		}
+		loaded = append(loaded, pkg)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, loaded)
+	if err != nil {
+		t.Fatalf("run %s on %v: %v", a.Name, pkgs, err)
+	}
+	check(t, loaded, diags)
+	return diags
+}
+
+// check compares diagnostics against the fixtures' want comments.
+func check(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	wants := map[key][]string{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					k := key{pos.Filename, pos.Line}
+					for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+						wants[k] = append(wants[k], pm[1])
+					}
 				}
-				pos := pkg.Fset.Position(c.Slash)
-				k := key{pos.Filename, pos.Line}
-				wants[k] = append(wants[k], m[1])
 			}
 		}
 	}
@@ -108,4 +145,32 @@ func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 
 func fmtPos(p token.Position) string {
 	return fmt.Sprintf("%s:%d:%d", strings.TrimPrefix(p.Filename, "./"), p.Line, p.Column)
+}
+
+// RunWithFixes runs the analyzer like Run, then applies the suggested
+// fixes its diagnostics carry and compares every rewritten file
+// against the sibling golden file "<file>.golden". A fixed file with
+// no golden is an error — the golden IS the assertion that -fix
+// produces exactly this output — and so is a golden that doesn't
+// match. The rewritten contents are returned for further checks;
+// nothing on disk is modified.
+func RunWithFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) map[string][]byte {
+	t.Helper()
+	diags := Run(t, testdata, a, pkgs...)
+	fixed, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("apply fixes: %v", err)
+	}
+	for file, got := range fixed {
+		want, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Errorf("%s: fixes applied but no golden file: %v", file, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from %s.golden:\n-- got --\n%s\n-- want --\n%s",
+				file, file, got, want)
+		}
+	}
+	return fixed
 }

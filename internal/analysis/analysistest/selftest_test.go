@@ -1,0 +1,79 @@
+// The harness testing itself: a toy analyzer with known findings and
+// fixes drives Run and RunWithFixes over a two-file fixture, pinning
+// the behaviours the real analyzer tests lean on — want matching
+// across files, several expected diagnostics on one line, and the
+// golden-file round trip of suggested fixes.
+package analysistest_test
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+
+	"cntfet/internal/analysis"
+	"cntfet/internal/analysis/analysistest"
+)
+
+// toy flags every identifier named "bad" (with a rename-to-good fix)
+// and every integer literal 42 (no fix) — cheap, deterministic
+// findings that can share a line.
+var toy = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "flags idents named bad (fix: rename to good) and the literal 42",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if n.Name == "bad" {
+						fix := []analysis.Edit{pass.Edit(n.Pos(), n.End(), "good")}
+						pass.ReportfFix(n.Pos(), fix, "ident bad")
+					}
+				case *ast.BasicLit:
+					if n.Kind == token.INT && n.Value == "42" {
+						pass.Reportf(n.Pos(), "magic 42")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestMultiFileWants runs the toy analyzer over the two-file fixture:
+// every want across both files must be matched, including the line
+// that expects two diagnostics at once.
+func TestMultiFileWants(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", toy, "multi")
+	if len(diags) != 5 {
+		t.Errorf("diagnostics = %d, want 5 (4 idents + 1 literal)", len(diags))
+	}
+	files := map[string]bool{}
+	for _, d := range diags {
+		files[d.Pos.Filename] = true
+	}
+	if len(files) != 2 {
+		t.Errorf("diagnostics span %d file(s), want 2", len(files))
+	}
+}
+
+// TestFixGoldenRoundTrip applies the rename fixes and compares both
+// rewritten files against their goldens.
+func TestFixGoldenRoundTrip(t *testing.T) {
+	fixed := analysistest.RunWithFixes(t, "testdata", toy, "multi")
+	if len(fixed) != 2 {
+		t.Fatalf("fixed files = %d, want 2", len(fixed))
+	}
+	for file, src := range fixed {
+		s := string(src)
+		// Want comments still say "ident bad"; only code idents rename.
+		if strings.Contains(s, "return bad") {
+			t.Errorf("%s: rename fix left an ident behind", file)
+		}
+		if !strings.Contains(s, "return good") {
+			t.Errorf("%s: rename fix produced no good ident", file)
+		}
+	}
+}

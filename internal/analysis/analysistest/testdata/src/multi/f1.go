@@ -1,0 +1,10 @@
+// Package multi is the harness self-test fixture: findings spread
+// over two files, one line carrying two expected diagnostics, and a
+// mechanical rename fix with a golden.
+package multi
+
+// Bad trips both toy rules on one line.
+func Bad() int {
+	bad := 42  // want `ident bad` `magic 42`
+	return bad // want `ident bad`
+}

@@ -1,0 +1,10 @@
+package multi
+
+// Also keeps findings coming from a second file of the same package.
+func Also() int {
+	bad := 7   // want `ident bad`
+	return bad // want `ident bad`
+}
+
+// Clean produces no diagnostics.
+func Clean() int { return 7 }

@@ -1,0 +1,165 @@
+// Package errwrap guards the error-taxonomy chain PR 3 established and
+// PR 5 mapped onto HTTP statuses: every error that crosses a package
+// boundary must keep its wrap chain intact, because the taxonomy is
+// consulted exclusively through errors.Is — engine.JobError unwraps to
+// ErrCanceled/ErrNumerical/ErrInvalidRequest, and internal/server maps
+// those sentinels to 499/422/400. One fmt.Errorf("...: %v", err) on
+// that path silently flattens the chain to a string: errors.Is stops
+// matching, the server answers 500, and nothing fails until a client
+// notices the wrong status.
+//
+// The rule: inside any function whose error result is observable
+// across the package boundary — exported, or reachable from an
+// exported function through the intra-package callgraph — formatting
+// an error-typed value with %v, %s or %q in fmt.Errorf is a
+// diagnostic. Use %w. Debug helpers that are unreachable from the
+// exported surface may format errors freely; so may package main,
+// whose errors terminate in a log line rather than an errors.Is.
+//
+// The %v→%w rewrite is mechanical, so the diagnostic carries a
+// suggested fix that cntlint -fix applies. Sites that genuinely mean
+// to flatten (e.g. embedding an error's text in a new message without
+// adopting its identity) annotate //lint:allow errwrap <reason>.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cntfet/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "errors formatted into fmt.Errorf on an exported-reachable path " +
+		"must use %w, not %v/%s/%q, so errors.Is keeps reaching the " +
+		"taxonomy sentinels end-to-end",
+	Run: run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	if pkg.Name == "main" {
+		return nil // command errors terminate in a log line, not errors.Is
+	}
+	cg := pkg.CallGraph()
+	boundary := cg.ReachableFromExported()
+	for _, node := range cg.Nodes() {
+		if !boundary[node.Fn] {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pkg.Info, call)
+			if !analysis.IsPkgFunc(fn, "fmt", "Errorf") {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf scans one fmt.Errorf call's format literal and reports
+// every %v/%s/%q directive whose argument is an error.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // computed format: nothing to scan
+	}
+	for _, d := range scanVerbs(lit.Value) {
+		if d.verb != 'v' && d.verb != 's' && d.verb != 'q' {
+			continue
+		}
+		argIdx := 1 + d.arg
+		if argIdx >= len(call.Args) {
+			continue // malformed format; go vet owns that complaint
+		}
+		tv, ok := pass.Pkg.Info.Types[call.Args[argIdx]]
+		if !ok || tv.Type == nil || !types.Implements(tv.Type, errorIface) {
+			continue
+		}
+		var fix []analysis.Edit
+		if d.plain {
+			verbPos := lit.Pos() + token.Pos(d.verbOff)
+			fix = []analysis.Edit{pass.Edit(verbPos, verbPos+1, "w")}
+		}
+		pass.ReportfFix(call.Args[argIdx].Pos(), fix,
+			"error formatted with %%%c loses its wrap chain: use %%w so errors.Is "+
+				"reaches the taxonomy sentinels (or //lint:allow errwrap with the "+
+				"reason the identity is deliberately dropped)", d.verb)
+	}
+}
+
+// directive is one %-verb of a format string: the verb letter, the
+// byte offset of that letter within the literal's source text, the
+// index of the argument it consumes, and whether the directive is a
+// plain two-byte %v (no flags/width/precision), which makes the
+// %w rewrite mechanical.
+type directive struct {
+	verb    byte
+	verbOff int
+	arg     int
+	plain   bool
+}
+
+// scanVerbs walks a string literal's source text (quotes included —
+// offsets are relative to the literal start, so a fix can be placed
+// without unquoting) and returns its directives in order. The scan
+// mirrors fmt's argument consumption: every directive except %% takes
+// one argument, plus one per '*' width or precision.
+func scanVerbs(src string) []directive {
+	var out []directive
+	arg := 0
+	for i := 0; i < len(src); i++ {
+		if src[i] != '%' {
+			continue
+		}
+		if i+1 < len(src) && src[i+1] == '%' {
+			i++
+			continue
+		}
+		start := i
+		i++
+		// Flags, width, precision; '*' consumes an argument of its own.
+		for i < len(src) {
+			c := src[i]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				(c >= '1' && c <= '9') || c == '.' {
+				i++
+				continue
+			}
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(src) {
+			break
+		}
+		verb := src[i]
+		if (verb >= 'a' && verb <= 'z') || (verb >= 'A' && verb <= 'Z') {
+			out = append(out, directive{
+				verb:    verb,
+				verbOff: i,
+				arg:     arg,
+				plain:   i == start+1,
+			})
+			arg++
+		}
+	}
+	return out
+}

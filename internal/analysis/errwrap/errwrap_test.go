@@ -1,0 +1,34 @@
+package errwrap_test
+
+import (
+	"strings"
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", errwrap.Analyzer, "a", "m")
+	// The two plain directives carry fixes; the flagged %+v does not.
+	fixes := 0
+	for _, d := range diags {
+		if len(d.Fix) > 0 {
+			fixes++
+		}
+	}
+	if fixes != 2 {
+		t.Errorf("diagnostics with fixes = %d, want 2 (plain %%v and %%s only)", fixes)
+	}
+}
+
+// TestErrwrapFix round-trips the mechanical %v→%w rewrite against the
+// golden file.
+func TestErrwrapFix(t *testing.T) {
+	fixed := analysistest.RunWithFixes(t, "testdata", errwrap.Analyzer, "a")
+	for file, src := range fixed {
+		if strings.Contains(string(src), "exported: %v") {
+			t.Errorf("%s: fix left %%v in place", file)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package a is the errwrap fixture: wrap-chain losses on the
+// exported-reachable path trigger, debug helpers and annotated sites
+// do not.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClass stands in for a taxonomy sentinel.
+var ErrClass = errors.New("a: class")
+
+// Exported is on the boundary: its errors are observable outside.
+func Exported() error {
+	if err := inner(); err != nil {
+		return fmt.Errorf("exported: %v", err) // want `error formatted with %v loses its wrap chain`
+	}
+	return nil
+}
+
+// reachable is unexported but called from Exported, so its error
+// escapes too.
+func reachable() error {
+	if err := inner(); err != nil {
+		return fmt.Errorf("reachable: %s", err) // want `error formatted with %s loses its wrap chain`
+	}
+	return nil
+}
+
+// ExportedCaller keeps reachable on the boundary.
+func ExportedCaller() error { return reachable() }
+
+// Wrapped does it right: %w keeps errors.Is working.
+func Wrapped() error {
+	if err := inner(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	return nil
+}
+
+// Mixed wraps the error and formats a plain value; only error-typed
+// arguments are constrained.
+func Mixed(n int) error {
+	if err := inner(); err != nil {
+		return fmt.Errorf("mixed %d %v: %w", n, n, err)
+	}
+	return nil
+}
+
+// Flattened documents that it means to drop the identity.
+func Flattened() error {
+	if err := inner(); err != nil {
+		//lint:allow errwrap the cause is advisory detail, not an identity callers match on
+		return fmt.Errorf("flattened: %v", err)
+	}
+	return nil
+}
+
+// Flagged exercises a non-plain directive: reported, but with no
+// mechanical fix (%+w is not a verb).
+func Flagged() error {
+	if err := inner(); err != nil {
+		return fmt.Errorf("flagged: %+v", err) // want `error formatted with %v loses its wrap chain`
+	}
+	return nil
+}
+
+// debugDump is unreachable from the exported surface: its formatting
+// is nobody's contract.
+func debugDump() string {
+	err := inner()
+	return fmt.Errorf("debug: %v", err).Error()
+}
+
+func inner() error { return ErrClass }

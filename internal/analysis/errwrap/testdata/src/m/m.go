@@ -1,0 +1,18 @@
+// Package main is exempt: a command's errors end in a log line, not
+// in an errors.Is chain some other package depends on.
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Println(err)
+	}
+}
+
+func run() error {
+	return fmt.Errorf("run: %v", errors.New("boom"))
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fixes of the given diagnostics to
+// the files they touch and returns the rewritten contents keyed by
+// filename — only files with at least one applied edit appear. Callers
+// decide what to do with the bytes: cntlint -fix writes them back,
+// analysistest compares them against golden files.
+//
+// Edits are validated before anything is rewritten: out-of-range or
+// overlapping edits (two analyzers proposing conflicting rewrites of
+// the same bytes) fail the whole batch rather than corrupting a file.
+// Identical duplicate edits — the same fix reported twice — collapse
+// to one.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
+	byFile := map[string][]Edit{}
+	for _, d := range diags {
+		for _, e := range d.Fix {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Offset != edits[j].Offset {
+				return edits[i].Offset < edits[j].Offset
+			}
+			return edits[i].End < edits[j].End
+		})
+		// Validate, dropping exact duplicates.
+		kept := edits[:0]
+		for i, e := range edits {
+			if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+				return nil, fmt.Errorf("applying fixes: edit [%d,%d) out of range for %s (%d bytes)",
+					e.Offset, e.End, file, len(src))
+			}
+			if i > 0 && e == edits[i-1] {
+				continue
+			}
+			if len(kept) > 0 && e.Offset < kept[len(kept)-1].End {
+				return nil, fmt.Errorf("applying fixes: overlapping edits in %s at offset %d", file, e.Offset)
+			}
+			kept = append(kept, e)
+		}
+		// Apply back to front so earlier offsets stay valid.
+		fixed := append([]byte(nil), src...)
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			fixed = append(fixed[:e.Offset], append([]byte(e.New), fixed[e.End:]...)...)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+// Package httpstatus keeps the error taxonomy and the HTTP boundary
+// in sync — the one invariant in this module no single package can
+// see. The engine declares its error classes as wrapped sentinels
+// (ErrInvalidRequest, ErrCanceled, ErrNumerical); the server folds
+// them to status codes in one switch. Both halves compile fine when
+// they drift: a new sentinel with no mapping arm surfaces as a bare
+// 500, and a mapping arm probing an unmarked error is dead taxonomy
+// nobody maintains.
+//
+// The contract is spelled with two directives:
+//
+//	//taxonomy:class      on a package-level error sentinel
+//	//taxonomy:statusmap  on a function that folds errors to codes
+//
+// and checked module-wide, in both directions: every marked class
+// must be tested (errors.Is) inside some statusmap function, and
+// every module-local sentinel a statusmap function tests must be
+// marked. When the loaded package set contains no statusmap function
+// at all — e.g. linting internal/engine on its own — the analyzer
+// stays silent rather than demand a mapping it cannot see.
+package httpstatus
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cntfet/internal/analysis"
+)
+
+// Directives recognised by the analyzer.
+const (
+	ClassDirective     = "//taxonomy:class"
+	StatusMapDirective = "//taxonomy:statusmap"
+)
+
+// Analyzer implements the check. It is module-phase only: the classes
+// and the mapping live in different packages by design.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpstatus",
+	Doc: "every //taxonomy:class error sentinel must have an errors.Is " +
+		"arm in a //taxonomy:statusmap function, and every module-local " +
+		"sentinel such a function tests must be marked //taxonomy:class",
+	RunModule: runModule,
+}
+
+// class is one marked sentinel: where it was declared, and its
+// cross-package identity (package path + name — object identity does
+// not survive the source/export-data boundary).
+type class struct {
+	pkg  *analysis.Package
+	pos  token.Pos
+	qual string
+	name string
+}
+
+func runModule(mp *analysis.ModulePass) error {
+	local := map[string]bool{} // package paths in the loaded set
+	for _, pkg := range mp.Pkgs {
+		local[pkg.Path] = true
+	}
+
+	var classes []class
+	type probe struct {
+		pkg  *analysis.Package
+		pos  token.Pos
+		qual string
+		name string
+	}
+	var probes []probe // every errors.Is(_, X) inside a statusmap func
+	statusmaps := 0
+
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					if d.Tok != token.VAR {
+						continue
+					}
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || !marked(specDoc(d, vs), ClassDirective) {
+							continue
+						}
+						for _, name := range vs.Names {
+							classes = append(classes, class{
+								pkg:  pkg,
+								pos:  name.Pos(),
+								qual: pkg.Path + "." + name.Name,
+								name: name.Name,
+							})
+						}
+					}
+				case *ast.FuncDecl:
+					if !marked(d.Doc, StatusMapDirective) {
+						continue
+					}
+					statusmaps++
+					ast.Inspect(d.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok || len(call.Args) != 2 {
+							return true
+						}
+						fn := analysis.CalleeFunc(pkg.Info, call)
+						if !analysis.IsPkgFunc(fn, "errors", "Is") {
+							return true
+						}
+						v := sentinelVar(pkg.Info, call.Args[1])
+						if v == nil || v.Pkg() == nil {
+							return true
+						}
+						probes = append(probes, probe{
+							pkg:  pkg,
+							pos:  call.Args[1].Pos(),
+							qual: v.Pkg().Path() + "." + v.Name(),
+							name: v.Name(),
+						})
+						return true
+					})
+				}
+			}
+		}
+	}
+
+	if statusmaps == 0 {
+		// No boundary in sight: nothing to reconcile against.
+		return nil
+	}
+
+	probed := map[string]bool{}
+	for _, p := range probes {
+		probed[p.qual] = true
+	}
+	for _, c := range classes {
+		if !probed[c.qual] {
+			mp.Reportf(c.pkg, c.pos, "taxonomy class %s has no errors.Is arm in any "+
+				"//taxonomy:statusmap function: it will surface as a bare 500", c.name)
+		}
+	}
+
+	markedQual := map[string]bool{}
+	for _, c := range classes {
+		markedQual[c.qual] = true
+	}
+	for _, p := range probes {
+		pkgPath := p.qual[:strings.LastIndex(p.qual, ".")]
+		if !local[pkgPath] {
+			continue // stdlib or out-of-set sentinels are not ours to mark
+		}
+		if !markedQual[p.qual] {
+			mp.Reportf(p.pkg, p.pos, "status mapping tests %s, which is not marked "+
+				"//taxonomy:class: mark the sentinel so the class list stays the "+
+				"single source of truth", p.name)
+		}
+	}
+	return nil
+}
+
+// specDoc resolves the doc comment of one value spec: the spec's own
+// doc inside a grouped declaration, the GenDecl doc otherwise.
+func specDoc(d *ast.GenDecl, vs *ast.ValueSpec) *ast.CommentGroup {
+	if vs.Doc != nil {
+		return vs.Doc
+	}
+	if len(d.Specs) == 1 {
+		return d.Doc
+	}
+	return nil
+}
+
+// marked reports whether the comment group carries the directive.
+func marked(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// sentinelVar resolves an errors.Is target expression to the
+// package-level variable it names, or nil.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,27 @@
+package httpstatus_test
+
+import (
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/httpstatus"
+)
+
+// TestHTTPStatus loads both sides of the contract together: the
+// taxonomy package and the boundary package, with drift planted in
+// each direction.
+func TestHTTPStatus(t *testing.T) {
+	diags := analysistest.RunModule(t, "testdata", httpstatus.Analyzer, "a", "b")
+	if len(diags) != 2 {
+		t.Errorf("diagnostics = %d, want 2 (one per drift direction)", len(diags))
+	}
+}
+
+// TestHTTPStatusNoBoundary checks the half-module guard: classes with
+// no statusmap function in sight are not findings.
+func TestHTTPStatusNoBoundary(t *testing.T) {
+	diags := analysistest.RunModule(t, "testdata", httpstatus.Analyzer, "c")
+	if len(diags) != 0 {
+		t.Errorf("diagnostics = %d, want 0 when no statusmap is loaded", len(diags))
+	}
+}

@@ -1,0 +1,23 @@
+// Package a plays the engine: it declares the error taxonomy.
+package a
+
+import "errors"
+
+// ErrBadInput rejects malformed requests.
+//
+//taxonomy:class
+var ErrBadInput = errors.New("a: bad input")
+
+// ErrNumerical reports solver non-convergence.
+//
+//taxonomy:class
+var ErrNumerical = errors.New("a: numerical")
+
+// ErrForgotten is marked but never mapped: the drift this analyzer
+// exists to catch.
+//
+//taxonomy:class
+var ErrForgotten = errors.New("a: forgotten") // want `taxonomy class ErrForgotten has no errors.Is arm`
+
+// ErrUnmarked is mapped but not marked: the reverse drift.
+var ErrUnmarked = errors.New("a: unmarked")

@@ -1,0 +1,27 @@
+// Package b plays the server: it folds package a's taxonomy to
+// status codes.
+package b
+
+import (
+	"context"
+	"errors"
+
+	"a"
+)
+
+// StatusOf maps an error to an HTTP status.
+//
+//taxonomy:statusmap
+func StatusOf(err error) int {
+	switch {
+	case errors.Is(err, a.ErrBadInput):
+		return 400
+	case errors.Is(err, a.ErrNumerical):
+		return 422
+	case errors.Is(err, a.ErrUnmarked): // want `not marked //taxonomy:class`
+		return 409
+	case errors.Is(err, context.Canceled): // out-of-set sentinel: not ours to mark
+		return 499
+	}
+	return 500
+}

@@ -1,0 +1,11 @@
+// Package c has classes but no boundary in the loaded set: the
+// analyzer must stay silent rather than demand a mapping it cannot
+// see (this is internal/engine linted on its own).
+package c
+
+import "errors"
+
+// ErrAlone is marked, unmapped, and not a finding here.
+//
+//taxonomy:class
+var ErrAlone = errors.New("c: alone")

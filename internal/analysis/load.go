@@ -38,13 +38,40 @@ type Loader struct {
 	mu      sync.Mutex
 	exports map[string]string // import path -> export data file
 	imp     types.ImporterFrom
+	// src holds packages this loader already checked from source, keyed
+	// by import path. Fixture packages register here (LoadDir), so one
+	// fixture can import a sibling loaded before it — the go tool knows
+	// nothing about paths under testdata.
+	src map[string]*types.Package
 }
 
 // NewLoader returns a loader rooted at dir (empty: current directory).
 func NewLoader(dir string) *Loader {
-	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l := &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		src:     map[string]*types.Package{},
+	}
 	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
 	return l
+}
+
+// Import implements types.Importer, preferring source-checked sibling
+// packages over export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom with the same preference.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	p := l.src[path]
+	l.mu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	return l.imp.ImportFrom(path, dir, mode)
 }
 
 // listedPackage is the subset of go list -json output the loader needs.
@@ -65,7 +92,7 @@ func (l *Loader) golist(args ...string) ([]listedPackage, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
 	}
 	var pkgs []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -93,7 +120,7 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 		cmd.Dir = l.Dir
 		out, err := cmd.Output()
 		if err != nil {
-			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+			return nil, fmt.Errorf("no export data for %q: %w", path, err)
 		}
 		file = strings.TrimSpace(string(out))
 		l.mu.Lock()
@@ -172,7 +199,14 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
-	return l.check(path, files)
+	pkg, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.src[path] = pkg.Types
+	l.mu.Unlock()
+	return pkg, nil
 }
 
 // check parses and type-checks one package's files.
@@ -192,7 +226,7 @@ func (l *Loader) check(path string, filenames []string) (*Package, error) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)

@@ -1,0 +1,30 @@
+package sinkcontract_test
+
+import (
+	"strings"
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/sinkcontract"
+)
+
+func TestSinkcontract(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", sinkcontract.Analyzer, "a")
+	// Every goroutine finding carries the allow-annotation scaffold.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "goroutine") && len(d.Fix) == 0 {
+			t.Errorf("%s: goroutine diagnostic without the allow scaffold fix", d.Pos)
+		}
+	}
+}
+
+// TestSinkcontractFix round-trips the scaffold insertion against the
+// golden file.
+func TestSinkcontractFix(t *testing.T) {
+	fixed := analysistest.RunWithFixes(t, "testdata", sinkcontract.Analyzer, "a")
+	for file, src := range fixed {
+		if !strings.Contains(string(src), "//lint:allow goroutine TODO:") {
+			t.Errorf("%s: fix did not insert the allow scaffold", file)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package a is the sinkcontract fixture: Emit call sites that drop
+// or half-handle the closed-sink signal trigger, as do goroutines
+// that feed channels with no cancellation escape.
+package a
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrSinkClosed mirrors the engine sentinel.
+var ErrSinkClosed = errors.New("a: sink closed")
+
+// Sink mirrors the engine row sink.
+type Sink interface{ Emit(x int) error }
+
+// Discard drops the error on the floor.
+func Discard(s Sink) {
+	s.Emit(1) // want `result of Sink.Emit discarded`
+}
+
+// Blank discards explicitly; no better.
+func Blank(s Sink) {
+	_ = s.Emit(1) // want `result of Sink.Emit discarded`
+}
+
+// Unhandled captures the error but never consults the sentinel:
+// cancellation and real failures take the same branch.
+func Unhandled(s Sink) error {
+	if err := s.Emit(1); err != nil { // want `without consulting ErrSinkClosed`
+		return err
+	}
+	return nil
+}
+
+// Handled engages with the protocol.
+func Handled(s Sink) error {
+	if err := s.Emit(1); err != nil {
+		if errors.Is(err, ErrSinkClosed) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// Propagate returns the error verbatim: the caller classifies.
+func Propagate(s Sink) error {
+	return s.Emit(1)
+}
+
+// LeakySend blocks forever once the consumer stops reading.
+func LeakySend(ch chan int) {
+	go func() { // want `goroutine writes to a sink/channel with no ctx.Done\(\) escape`
+		ch <- 1
+	}()
+}
+
+// GuardedSend dies with the job.
+func GuardedSend(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// AllowedSend documents its drain guarantee instead.
+func AllowedSend(ch chan int) {
+	//lint:allow goroutine the caller drains ch before returning
+	go func() {
+		ch <- 1
+	}()
+}
+
+// LaunchNamed is flagged through the callgraph: the send lives in the
+// named callee.
+func LaunchNamed(ch chan int) {
+	go pump(ch) // want `goroutine writes to a sink/channel with no ctx.Done\(\) escape`
+}
+
+func pump(ch chan int) { ch <- 2 }
+
+// LaunchGuardedNamed is clean: the guard also lives in the callee.
+func LaunchGuardedNamed(ctx context.Context, ch chan int) {
+	go guardedPump(ctx, ch)
+}
+
+func guardedPump(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 3:
+	case <-ctx.Done():
+	}
+}
+
+// LaunchEmit is flagged on the emit-callback convention.
+func LaunchEmit(emit func(int) error) {
+	go func() { // want `goroutine writes to a sink/channel with no ctx.Done\(\) escape`
+		_ = emit(4)
+	}()
+}
+
+// Compute is a quiet goroutine: no sends, no emits, no diagnostic.
+func Compute(xs []int) {
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		_ = s
+	}()
+}

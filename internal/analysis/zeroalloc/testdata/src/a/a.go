@@ -1,0 +1,146 @@
+// Package a is the zeroalloc fixture: annotated kernels reject
+// allocating constructs and dirty helpers; unannotated code is free
+// to allocate.
+package a
+
+import "time"
+
+// Sum is annotated and clean: arithmetic, control flow, time.Now and
+// calls to clean same-package helpers are all fine.
+//
+//perf:zeroalloc
+func Sum(xs []float64) float64 {
+	t0 := time.Now()
+	s := 0.0
+	for _, x := range xs {
+		s += scale(x)
+	}
+	return s + time.Since(t0).Seconds()
+}
+
+// scale is a clean helper: Sum may call it.
+func scale(x float64) float64 { return 2 * x }
+
+// Grow allocates directly through a builtin.
+//
+//perf:zeroalloc
+func Grow(xs []int) []int {
+	return append(xs, 1) // want `builtin append may allocate`
+}
+
+// Closure builds a func value (reported once; its innards are not
+// separately walked) and then calls it dynamically.
+//
+//perf:zeroalloc
+func Closure(xs []int) int {
+	f := func() int { return len(xs) } // want `closure literal may allocate`
+	return f()                         // want `dynamic call cannot be verified`
+}
+
+// Literals covers the composite-literal shapes.
+//
+//perf:zeroalloc
+func Literals() int {
+	xs := []int{1, 2}       // want `slice literal may allocate`
+	m := map[int]int{1: 2}  // want `map literal may allocate`
+	p := &point{x: 1, y: 2} // want `&composite literal may allocate`
+	v := point{x: 3, y: 4}  // plain struct literal stays on the stack
+	return xs[0] + m[1] + p.x + v.y
+}
+
+type point struct{ x, y int }
+
+// Strings covers concatenation and the copying conversions.
+//
+//perf:zeroalloc
+func Strings(a, b string) int {
+	c := a + b      // want `string concatenation may allocate`
+	bs := []byte(a) // want `string/slice conversion may allocate`
+	s := string(bs) // want `string/slice conversion may allocate`
+	return len(c) + len(s)
+}
+
+// Spawn launches a goroutine: a new stack is an allocation.
+//
+//perf:zeroalloc
+func Spawn(done chan struct{}) {
+	go close(done) // want `go statement may allocate`
+}
+
+// Timer calls a banned time constructor; time.Now above is fine.
+//
+//perf:zeroalloc
+func Timer() {
+	<-time.After(time.Millisecond) // want `time.After call may allocate`
+}
+
+// Boxed passes a concrete value into an interface parameter and
+// converts one explicitly.
+//
+//perf:zeroalloc
+func Boxed(x int) {
+	sink(x)    // want `interface boxing of a non-pointer value`
+	_ = any(x) // want `interface boxing of a non-pointer value`
+	sink(&x)   // a pointer fits the interface word: no box
+	sink(nil)  // nil boxes nothing
+}
+
+// sink is a clean helper with an interface parameter.
+func sink(v any) { _ = v }
+
+// Emitter dispatches through an interface method: dynamic, so
+// unverifiable.
+//
+//perf:zeroalloc
+func Emitter(s Sink, x int) {
+	_ = s.Emit(x) // want `dynamic call cannot be verified`
+}
+
+// Sink mirrors the engine's row sink shape.
+type Sink interface{ Emit(x int) error }
+
+// Kernel calls a helper that allocates: the violation propagates up
+// the callgraph and is reported at the call site.
+//
+//perf:zeroalloc
+func Kernel(xs []float64) []float64 {
+	return double(xs) // want `calls double, which may allocate`
+}
+
+// Deep shows the propagation is transitive through clean middlemen.
+//
+//perf:zeroalloc
+func Deep(xs []float64) []float64 {
+	return viaDouble(xs) // want `calls viaDouble, which may allocate`
+}
+
+// viaDouble is itself construct-free but calls an allocating helper.
+func viaDouble(xs []float64) []float64 { return double(xs) }
+
+// double allocates; it is not annotated, so the constructs are only
+// witnesses, not diagnostics.
+func double(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = 2 * x
+	}
+	return out
+}
+
+// Allowed documents its one cold-path allocation.
+//
+//perf:zeroalloc
+func Allowed(xs []int) []int {
+	if cap(xs) == 0 {
+		//lint:allow zeroalloc cold resize path, hit once per process
+		return make([]int, 0, 64)
+	}
+	return xs[:0]
+}
+
+// free is unannotated: it may allocate all it likes.
+func free() []int {
+	return append([]int{}, 1, 2, 3)
+}
+
+var _ = free

@@ -1,0 +1,418 @@
+// Package zeroalloc machine-checks the allocation budget PR 7 bought:
+// the serving row kernels and the hot emit path run at
+// testing.AllocsPerRun == 0, and that figure is guarded by alloc
+// tests — but only on the grids the tests happen to sweep. This
+// analyzer guards the property structurally: a function annotated
+//
+//	//perf:zeroalloc
+//
+// in its doc comment must not contain allocating constructs, and —
+// because a kernel is only as clean as its helpers — must not call a
+// same-package function that (transitively) contains one. The
+// construct list is deliberately conservative:
+//
+//   - function literals (closures may capture and escape),
+//   - the append/make/new builtins,
+//   - slice and map composite literals, and &T{...},
+//   - go statements,
+//   - string concatenation and string<->[]byte/[]rune conversions,
+//   - any fmt call, and the timer-allocating time constructors
+//     (NewTimer, NewTicker, After, AfterFunc, Tick),
+//   - interface boxing: passing or converting a concrete non-pointer
+//     value into an interface,
+//   - dynamic calls (func values, interface methods), which the
+//     intra-package callgraph cannot see through.
+//
+// Cross-package static calls are trusted (their packages own their
+// budgets) except the fmt/time set above. Several of these constructs
+// are conditionally safe — a non-escaping closure is stack-allocated,
+// a cold error path may allocate freely — so the escape hatch
+// matters: //lint:allow zeroalloc <reason> on the construct's line
+// documents why the kernel's AllocsPerRun guard stays at zero anyway.
+// The alloc tests remain the ground truth; this analyzer makes the
+// review conversation happen before the benchmark regresses.
+package zeroalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cntfet/internal/analysis"
+)
+
+// Directive marks a function whose body must stay allocation-free.
+const Directive = "//perf:zeroalloc"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "zeroalloc",
+	Doc: "functions annotated //perf:zeroalloc must not allocate: no " +
+		"closures, append/make/new, slice/map literals, fmt or timer " +
+		"calls, interface boxing, or calls to helpers that do",
+	Run: run,
+}
+
+// witness is the first allocating construct found in a function: what
+// it is and where.
+type witness struct {
+	desc string
+	pos  token.Pos
+}
+
+type checker struct {
+	pass *analysis.Pass
+	cg   *analysis.CallGraph
+	// direct holds each declared function's first own construct;
+	// trans adds propagation through same-package calls. state breaks
+	// recursion cycles (0 unvisited, 1 visiting, 2 done).
+	direct map[*types.Func]*witness
+	trans  map[*types.Func]*witness
+	state  map[*types.Func]int
+}
+
+func run(pass *analysis.Pass) error {
+	cg := pass.Pkg.CallGraph()
+	c := &checker{
+		pass:   pass,
+		cg:     cg,
+		direct: map[*types.Func]*witness{},
+		trans:  map[*types.Func]*witness{},
+		state:  map[*types.Func]int{},
+	}
+	var annotated []*analysis.FuncNode
+	for _, node := range cg.Nodes() {
+		if isAnnotated(node.Decl) {
+			annotated = append(annotated, node)
+		}
+		c.direct[node.Fn] = firstConstruct(pass.Pkg, node.Decl.Body)
+	}
+	for _, node := range annotated {
+		c.checkAnnotated(node)
+	}
+	return nil
+}
+
+// isAnnotated reports whether the declaration's doc comment carries
+// the //perf:zeroalloc directive.
+func isAnnotated(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, com := range decl.Doc.List {
+		if strings.HasPrefix(com.Text, Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAnnotated reports every allocating construct and every
+// unverifiable or transitively-allocating call in one annotated
+// function.
+func (c *checker) checkAnnotated(node *analysis.FuncNode) {
+	pass := c.pass
+	name := node.Fn.Name()
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if w := describeConstruct(pass.Pkg.Info, n); w != nil {
+			pass.Reportf(w.pos, "//perf:zeroalloc %s: %s may allocate "+
+				"(//lint:allow zeroalloc with the reason it cannot, or hoist it)",
+				name, w.desc)
+			_, isLit := n.(*ast.FuncLit)
+			return !isLit // a reported closure's innards add nothing
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch kind, callee := classifyCall(pass.Pkg, call); kind {
+		case callDynamic:
+			pass.Reportf(call.Pos(), "//perf:zeroalloc %s: dynamic call cannot be "+
+				"verified allocation-free (//lint:allow zeroalloc with the reason "+
+				"the callee stays within the budget)", name)
+		case callSamePkg:
+			if w := c.dirtyOf(callee); w != nil {
+				pass.Reportf(call.Pos(), "//perf:zeroalloc %s: calls %s, which may "+
+					"allocate (%s at %s)", name, callee.Name(), w.desc,
+					pass.Fset().Position(w.pos))
+			}
+		}
+		return true
+	})
+}
+
+// dirtyOf returns the first allocating construct reachable from fn
+// through same-package calls, or nil when fn is (conservatively)
+// clean. Cycles are broken optimistically: a recursive function is as
+// clean as its non-recursive constructs.
+func (c *checker) dirtyOf(fn *types.Func) *witness {
+	switch c.state[fn] {
+	case 2:
+		return c.trans[fn]
+	case 1:
+		return nil // visiting: break the cycle
+	}
+	node := c.cg.Node(fn)
+	if node == nil {
+		return nil // no body in this package: trust it
+	}
+	c.state[fn] = 1
+	w := c.direct[fn]
+	if w == nil {
+		for _, callee := range node.Calls {
+			if callee == fn {
+				continue
+			}
+			if cw := c.dirtyOf(callee); cw != nil {
+				w = cw
+				break
+			}
+		}
+	}
+	c.state[fn] = 2
+	c.trans[fn] = w
+	return w
+}
+
+// firstConstruct returns the first allocating construct of a body —
+// own constructs, banned cross-package calls, and dynamic calls all
+// count; same-package calls do not (dirtyOf follows those edges).
+func firstConstruct(pkg *analysis.Package, body *ast.BlockStmt) *witness {
+	var found *witness
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if w := describeConstruct(pkg.Info, n); w != nil {
+			found = w
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if kind, _ := classifyCall(pkg, call); kind == callDynamic {
+				found = &witness{desc: "dynamic call", pos: call.Pos()}
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+type callKind int
+
+const (
+	callNone    callKind = iota // not a call the propagation cares about
+	callSamePkg                 // static same-package call: follow the edge
+	callDynamic                 // func value or interface method: unverifiable
+)
+
+// classifyCall sorts a call for the propagation: same-package static
+// calls are followed, dynamic calls are unverifiable, everything else
+// (conversions, builtins, trusted imports) is handled by
+// describeConstruct or ignored.
+func classifyCall(pkg *analysis.Package, call *ast.CallExpr) (callKind, *types.Func) {
+	info := pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return callNone, nil // conversion, not a call
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return callNone, nil // append/make/new are constructs, len/cap free
+		case *types.Func:
+			return staticKind(pkg, obj)
+		case *types.Var:
+			return callDynamic, nil // func-typed variable or parameter
+		}
+		return callNone, nil
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return staticKind(pkg, obj)
+		case *types.Var:
+			return callDynamic, nil // func-typed field
+		}
+		return callDynamic, nil
+	}
+	return callDynamic, nil // call of an arbitrary expression
+}
+
+// staticKind resolves a named callee: interface methods are dynamic
+// dispatch, same-package functions propagate, imports are trusted
+// (banned imports are caught by describeConstruct).
+func staticKind(pkg *analysis.Package, fn *types.Func) (callKind, *types.Func) {
+	if recv := fn.Signature().Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return callDynamic, nil
+	}
+	if fn.Pkg() == pkg.Types {
+		return callSamePkg, fn
+	}
+	return callNone, nil
+}
+
+// describeConstruct reports whether n is, by itself, an allocating
+// construct, with a one-phrase description.
+func describeConstruct(info *types.Info, n ast.Node) *witness {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return &witness{desc: "closure literal", pos: n.Pos()}
+	case *ast.GoStmt:
+		return &witness{desc: "go statement", pos: n.Pos()}
+	case *ast.CompositeLit:
+		switch underlying(typeOf(info, n)).(type) {
+		case *types.Slice:
+			return &witness{desc: "slice literal", pos: n.Pos()}
+		case *types.Map:
+			return &witness{desc: "map literal", pos: n.Pos()}
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				return &witness{desc: "&composite literal", pos: n.Pos()}
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(typeOf(info, n.X)) {
+			return &witness{desc: "string concatenation", pos: n.OpPos}
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(typeOf(info, n.Lhs[0])) {
+			return &witness{desc: "string concatenation", pos: n.TokPos}
+		}
+	case *ast.CallExpr:
+		return describeCall(info, n)
+	}
+	return nil
+}
+
+// describeCall covers the call-shaped constructs: allocating builtins,
+// banned imports, boxing conversions and boxing arguments.
+func describeCall(info *types.Info, call *ast.CallExpr) *witness {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "make", "new":
+				return &witness{desc: "builtin " + b.Name(), pos: call.Pos()}
+			}
+			return nil
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return describeConversion(info, call, tv.Type)
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			return &witness{desc: "fmt." + fn.Name() + " call", pos: call.Pos()}
+		case "time":
+			switch fn.Name() {
+			case "NewTimer", "NewTicker", "After", "AfterFunc", "Tick":
+				return &witness{desc: "time." + fn.Name() + " call", pos: call.Pos()}
+			}
+		}
+	}
+	// Boxing through arguments: a concrete non-pointer value crossing
+	// into an interface parameter allocates its box.
+	if sig, ok := underlying(typeOf(info, call.Fun)).(*types.Signature); ok && !call.Ellipsis.IsValid() {
+		for i, arg := range call.Args {
+			pt := paramType(sig, i)
+			if pt == nil || !types.IsInterface(pt) {
+				continue
+			}
+			if boxes(typeOf(info, arg)) {
+				return &witness{desc: "interface boxing of a non-pointer value", pos: arg.Pos()}
+			}
+		}
+	}
+	return nil
+}
+
+// describeConversion flags T(x) where T is an interface and x a
+// concrete non-pointer, and the string<->byte/rune-slice copies.
+func describeConversion(info *types.Info, call *ast.CallExpr, target types.Type) *witness {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	src := typeOf(info, call.Args[0])
+	if types.IsInterface(target) && boxes(src) {
+		return &witness{desc: "interface boxing of a non-pointer value", pos: call.Pos()}
+	}
+	if (isString(target) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(target) && isString(src)) {
+		return &witness{desc: "string/slice conversion", pos: call.Pos()}
+	}
+	return nil
+}
+
+// boxes reports whether converting a value of type t into an interface
+// allocates: concrete non-pointer kinds do; pointers, channels and
+// funcs (word-sized references), interfaces and untyped nil do not.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	case *types.Struct, *types.Array, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func underlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type
+}
+
+// paramType resolves the i-th argument's parameter type, expanding the
+// variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}

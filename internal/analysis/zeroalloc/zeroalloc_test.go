@@ -1,0 +1,12 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"cntfet/internal/analysis/analysistest"
+	"cntfet/internal/analysis/zeroalloc"
+)
+
+func TestZeroalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", zeroalloc.Analyzer, "a")
+}

@@ -43,6 +43,8 @@ const batchBlock = 64
 //
 // Counter totals (core.solves, core.dispatch.*, core.fallback_generic)
 // are identical to the per-point path's.
+//
+//perf:zeroalloc
 func (m *Model) IDSBatch(bias []fettoy.Bias, out []float64) error {
 	var counts [dispatchCount]int64
 	var solves, fallbacks int64
@@ -56,12 +58,14 @@ func (m *Model) IDSBatch(bias []fettoy.Bias, out []float64) error {
 		blk := bias[base:end]
 		// Solve loop: closed-form roots only, currents deferred.
 		for i, b := range blk {
+			//lint:allow zeroalloc solveVSCRow's closures never escape (stack-allocated; the alloc test covers this path)
 			v, branch, ok := m.solveVSCRow(m.ulEff(b), b.VD-b.VS, &cursor)
 			solves++
 			counts[branch]++
 			if !ok {
 				fallbacks++
 				var err error
+				//lint:allow zeroalloc cold fallback for points the fast path rejects; its fmt.Errorf is the failure exit
 				if v, err = m.solveVSCGeneric(b); err != nil {
 					if telemetry.On() {
 						flushDispatch(&counts, solves, fallbacks)

@@ -19,15 +19,21 @@ var (
 	// ErrCanceled marks a user abort: the request's context was
 	// canceled or timed out. errors.Is against context.Canceled /
 	// context.DeadlineExceeded (or the cancel cause) also holds.
+	//
+	//taxonomy:class
 	ErrCanceled = errors.New("engine: job canceled")
 
 	// ErrNumerical marks a solver failure: a root bracket that never
 	// enclosed a sign change, a Newton iteration that hit its limit, or
 	// a circuit operating point that did not converge.
+	//
+	//taxonomy:class
 	ErrNumerical = errors.New("engine: numerical failure")
 
 	// ErrInvalidRequest marks a malformed Request — wrong field
 	// combination for the job kind, not a solver problem.
+	//
+	//taxonomy:class
 	ErrInvalidRequest = errors.New("engine: invalid request")
 )
 

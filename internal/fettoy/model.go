@@ -510,6 +510,8 @@ func (m *Model) IDSFrom(b Bias, guess float64) (ids, vsc float64, err error) {
 // flush after the row. Points whose lookups leave the tabulated range
 // fall back to exact quadrature individually, exactly like the
 // per-point path; counter totals match it either way.
+//
+//perf:zeroalloc
 func (m *Model) IDSBatch(bias []Bias, out []float64) error {
 	t := m.table
 	if t == nil || m.trace.Enabled() {
@@ -517,6 +519,7 @@ func (m *Model) IDSBatch(bias []Bias, out []float64) error {
 		// fully instrumented path): plain warm-started row.
 		guess := math.NaN()
 		for i, b := range bias {
+			//lint:allow zeroalloc the no-table path is the fully instrumented one; only the table path below is the zero-alloc kernel
 			ids, vsc, err := m.IDSFrom(b, guess)
 			if err != nil {
 				return err
@@ -527,11 +530,13 @@ func (m *Model) IDSBatch(bias []Bias, out []float64) error {
 		return nil
 	}
 
+	//lint:allow zeroalloc one-time table build, amortised over every subsequent row
 	t.tab() // pay the one-time build before the row, not inside point 0
 	alphaS := 1 - m.dev.AlphaG - m.dev.AlphaD
 	qcs := units.Q / m.csigma
 	on := telemetry.On()
 	var solves, iters, hits, misses int64
+	//lint:allow zeroalloc flush never escapes: it stays a stack closure (the alloc test covers telemetry on and off)
 	flush := func() {
 		metrics.solves.Add(solves)
 		metrics.tableHits.Add(hits)
@@ -552,6 +557,7 @@ func (m *Model) IDSBatch(bias []Bias, out []float64) error {
 			t0 = time.Now()
 		}
 		solves++
+		//lint:allow zeroalloc tableNewton's closures never escape (see its doc; the alloc test covers this path)
 		root, st, nhits, ok := m.tableNewton(t, b, ul, vds, qcs, guess, warm)
 		hits += nhits
 		if !ok {
@@ -560,7 +566,9 @@ func (m *Model) IDSBatch(bias []Bias, out []float64) error {
 			// quadrature-side counters.
 			misses++
 			var err error
+			//lint:allow zeroalloc cold off-grid fallback to exact quadrature, per miss, not per point
 			if root, st, err = m.solveVSCQuad(b, ul, vds, qcs, guess, warm); err != nil {
+				//lint:allow zeroalloc flush is the local stack closure above
 				flush()
 				return err
 			}
@@ -574,6 +582,7 @@ func (m *Model) IDSBatch(bias []Bias, out []float64) error {
 		out[i] = m.CurrentAtVSC(root, b)
 		guess, warm = root, true
 	}
+	//lint:allow zeroalloc flush is the local stack closure above
 	flush()
 	return nil
 }

@@ -333,7 +333,10 @@ func (s *Server) logJob(ctx context.Context, kind string, meta resolveMeta, stat
 
 // statusOf maps the engine error taxonomy onto HTTP statuses via
 // errors.Is, so the classification established by engine.JobError
-// travels to the client unchanged.
+// travels to the client unchanged. The httpstatus analyzer reconciles
+// the arms below against every //taxonomy:class sentinel, both ways.
+//
+//taxonomy:statusmap
 func statusOf(err error) (status int, class string) {
 	switch {
 	case errors.Is(err, engine.ErrInvalidRequest):
