@@ -4,14 +4,14 @@ GO ?= go
 # out shared-runner noise.
 GATE_THRESHOLD ?= 0.15
 
-.PHONY: check lint vet build test race bench benchgate benchsmoke scalebench servesmoke
+.PHONY: check lint vet build test race bench benchgate benchsmoke scalebench servesmoke shardsmoke
 
 ## check: the tier-1 gate — vet + cntlint, build, plain tests (the
 ## zero-alloc kernel guards only assert outside -race), race-enabled
 ## tests, a build-only smoke of the sweep benchmark (tiny grid, no
-## timing assertion: timing under a loaded CI machine is noise), and
-## the sweep-service smoke.
-check: lint build test race benchsmoke servesmoke
+## timing assertion: timing under a loaded CI machine is noise), the
+## sweep-service smoke, and the sharded-fleet smoke.
+check: lint build test race benchsmoke servesmoke shardsmoke
 
 ## lint: go vet plus the project analyzer suite (cmd/cntlint):
 ## telemetry key registry, context propagation, float comparisons,
@@ -72,3 +72,16 @@ benchsmoke:
 ## loaded from disk, zero rebuilds), and shuts down gracefully.
 servesmoke:
 	$(GO) run ./cmd/cntserve -selftest
+
+## shardsmoke: end-to-end smoke of the sharded fleet — cntshard boots
+## two in-process cntserve replicas behind the rendezvous router and
+## asserts the routing contract: N distinct model keys build exactly N
+## charge tables fleet-wide (affinity, stable Cntshard-Replica per
+## key; re-posts are zero-build local hits), a streamed family sweep
+## relays frame-by-frame bit-identical to the buffered rows, killing a
+## key's home replica fails the key over to the survivor in hash order
+## with a bit-identical answer, the router /healthz converges on the
+## kill, and /metrics passes the Prometheus conformance checker with
+## the cluster.route.* counters and per-replica health gauges.
+shardsmoke:
+	$(GO) run ./cmd/cntshard -selftest

@@ -32,6 +32,7 @@ const TelemetryPath = "cntfet/internal/telemetry"
 // the argument naming an instrument, kind or event.
 var keyMethodArg = map[string]int{
 	"Counter":   0, // Registry.Counter(name)
+	"Gauge":     0, // Registry.Gauge(name)
 	"Timer":     0, // Registry.Timer(name)
 	"Histogram": 0, // Registry.Histogram(name, bounds)
 	"Emit":      0, // Trace.Emit(kind, ...)

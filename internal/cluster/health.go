@@ -1,0 +1,86 @@
+// health.go is the control plane: a probe loop that keeps the
+// router's replica view live in both directions. Passive marking
+// (proxy.go) only ever takes replicas out of rotation; this loop is
+// what brings a recovered replica back without a router restart. Each
+// cycle GETs every replica's /healthz under a short deadline and flips
+// the replica's health bit — and its cluster.replica.N.healthy gauge —
+// to match. The cycle period is jittered ±25% so a fleet of routers
+// sharing a replica set does not synchronise into probe bursts.
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"cntfet/internal/telemetry"
+)
+
+// StartProbes runs the active health-check loop until ctx ends,
+// returning a stop function that cancels the loop and waits for it to
+// exit. The first probe cycle runs immediately, so a router started
+// against a half-up fleet converges before the first interval ticks.
+func (rt *Router) StartProbes(ctx context.Context) (stop func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:allow goroutine the loop owns no channel sends and exits with ctx; stop() joins it via the WaitGroup
+	go func() {
+		defer wg.Done()
+		src := rand.New(rand.NewSource(time.Now().UnixNano()))
+		rt.probeAll(ctx)
+		for {
+			t := time.NewTimer(jitter(src, rt.cfg.ProbeInterval))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+				rt.probeAll(ctx)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// jitter spreads an interval to [0.75, 1.25) of its nominal value.
+func jitter(src *rand.Rand, d time.Duration) time.Duration {
+	return time.Duration((0.75 + 0.5*src.Float64()) * float64(d))
+}
+
+// probeAll checks every replica once, in order. Sequential on purpose:
+// the fleet is small and a replica-count burst of concurrent probes is
+// exactly the lockstep load the jitter exists to avoid.
+func (rt *Router) probeAll(ctx context.Context) {
+	for _, rep := range rt.replicas {
+		if ctx.Err() != nil {
+			return
+		}
+		rep.setHealthy(rt.probe(ctx, rep))
+	}
+}
+
+// probe is one liveness check: a 200 from the replica's /healthz
+// within the probe timeout.
+func (rt *Router) probe(ctx context.Context, rep *replica) bool {
+	telemetry.Default().Counter(telemetry.KeyClusterProbes).Inc()
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -34,25 +34,6 @@ type Resolver interface {
 	Resolve(ctx context.Context, spec ModelSpec) (m device.Solver, cached bool, err error)
 }
 
-// cacheKey identifies one built model. The float fields come straight
-// off the wire: two requests share a model exactly when they name
-// byte-identical parameters, which is the right granularity for a
-// cache (nearby-but-different T or EF is a different physical model).
-type cacheKey struct {
-	family, preset string
-	t, ef          float64
-}
-
-// String renders the key for spans and logs: "family/preset/T=…/EF=…"
-// with resolved (post-override) parameter values.
-func (k cacheKey) String() string {
-	preset := k.preset
-	if preset == "" {
-		preset = DeviceDefault
-	}
-	return fmt.Sprintf("%s/%s/T=%g/EF=%g", k.family, preset, k.t, k.ef)
-}
-
 // cacheEntry serialises the build of one key: the first request holds
 // mu while building, later arrivals block on it and then read the
 // published model. A failed build publishes nothing, so the next
@@ -101,7 +82,7 @@ func (c *ModelCache) Resolve(ctx context.Context, spec ModelSpec) (device.Solver
 		return nil, false, err
 	}
 	family := familyOrDefault(spec.Family)
-	key := cacheKey{family: family, preset: spec.Device, t: dev.T, ef: dev.EF}
+	key := specCacheKey(spec, dev)
 	c.mu.Lock()
 	e := c.entries[key]
 	if e == nil {
@@ -187,11 +168,18 @@ func loadSnapshot(tab *fettoy.ChargeTable, path string) bool {
 	return true
 }
 
-// saveSnapshot writes tab's grid to path atomically (temp file +
-// rename), best-effort.
+// saveSnapshot writes tab's grid to path crash-safely: temp file in
+// the same directory, fsync the file, rename into place, fsync the
+// directory. Without the two syncs a crash between write and rename —
+// or between rename and the directory entry reaching disk — can leave
+// a truncated or missing .snap for the next process to trip over; with
+// them, path either holds the complete old content or the complete new
+// content. Best-effort: any failure counts server.snapshot.errors and
+// costs only the warm start.
 func saveSnapshot(tab *fettoy.ChargeTable, path string) {
 	fail := func() { telemetry.Default().Counter(telemetry.KeyServerSnapshotErrors).Inc() }
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		fail()
 		return
@@ -202,26 +190,33 @@ func saveSnapshot(tab *fettoy.ChargeTable, path string) {
 		fail()
 		return
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fail()
+		return
+	}
 	if err := f.Close(); err != nil {
 		fail()
 		return
 	}
 	if err := os.Rename(f.Name(), path); err != nil {
 		fail()
+		return
+	}
+	if err := syncDir(dir); err != nil {
+		fail()
 	}
 }
 
-// Key renders the cache identity a spec resolves to, for logs and
-// spans — with the family default applied, so an omitted family and an
-// explicit "model1" report the same identity. Unresolvable specs
-// render with their raw override values.
-func (m ModelSpec) Key() string {
-	family := familyOrDefault(m.Family)
-	dev, err := m.device()
+// syncDir flushes a directory's entries to disk, making a just-renamed
+// file durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		return fmt.Sprintf("%s/%s/T=%g/EF=%v", family, m.Device, m.T, m.EF)
+		return err
 	}
-	return cacheKey{family: family, preset: m.Device, t: dev.T, ef: dev.EF}.String()
+	defer d.Close()
+	return d.Sync()
 }
 
 // Len reports how many models are built and cached.

@@ -16,14 +16,15 @@
 //
 // Cancellation: the leader's engine run is detached from the leader's
 // own request context (a follower must not lose its result because
-// the leader hung up) and is cancelled only when every waiter has
-// gone. A waiter that disconnects early answers its own 499 and
-// leaves; the last one out cancels the flight.
+// the leader hung up) and is cancelled when every waiter has gone —
+// or when the server's drain context ends, so a flight cannot outlive
+// a graceful shutdown whose budget expired. A waiter that disconnects
+// early answers its own 499 and leaves; the last one out cancels the
+// flight.
 package server
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -51,20 +52,13 @@ type flightGroup struct {
 	flights map[string]*flight
 }
 
-// coalesceKey canonicalises a decoded request. Marshalling the struct
-// (not the raw body bytes) normalises formatting and field order.
-func coalesceKey(jr JobRequest) (string, error) {
-	b, err := json.Marshal(jr)
-	if err != nil {
-		return "", fmt.Errorf("server: coalesce key: %w", err)
-	}
-	return string(b), nil
-}
-
 // run executes req, sharing the result with any concurrent identical
 // request. coalesced reports whether this caller joined an existing
-// flight rather than leading one.
-func (g *flightGroup) run(ctx context.Context, key string, req engine.Request) (res engine.Result, coalesced bool, err error) {
+// flight rather than leading one. drain bounds the detached flight's
+// lifetime: when it ends (the server finished draining, successfully
+// or over budget), any still-running flight is cancelled. A nil drain
+// leaves the flight bounded only by its waiters.
+func (g *flightGroup) run(ctx, drain context.Context, key string, req engine.Request) (res engine.Result, coalesced bool, err error) {
 	reg := telemetry.Default()
 	g.mu.Lock()
 	if g.flights == nil {
@@ -81,14 +75,22 @@ func (g *flightGroup) run(ctx context.Context, key string, req engine.Request) (
 	// Lead a new flight (possibly replacing an abandoned one — its
 	// goroutine deletes itself conditionally, so the replacement wins).
 	// The run context keeps the leader's trace and span values but not
-	// its cancellation: followers outlive the leader's connection.
+	// its cancellation: followers outlive the leader's connection. The
+	// drain context caps the detachment — without it, a flight whose
+	// waiters were force-closed by an over-budget shutdown would keep
+	// computing for nobody.
 	jctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	stop := func() bool { return true }
+	if drain != nil {
+		stop = context.AfterFunc(drain, cancel)
+	}
 	f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.flights[key] = f
 	g.mu.Unlock()
 	reg.Counter(telemetry.KeyServerCoalesceMisses).Inc()
 	go func() {
 		res, err := engine.Run(jctx, req)
+		stop()
 		g.mu.Lock()
 		// Delete before close so a request arriving after completion
 		// starts fresh instead of reading a stale flight. Conditional:

@@ -109,6 +109,11 @@ type Server struct {
 	log     *telemetry.Logger
 	start   time.Time
 	flights flightGroup
+	// drainCtx ends when Shutdown finishes draining (or gives up);
+	// coalesced flight leaders derive from it so a detached engine run
+	// cannot outlive the server.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 }
 
 // New builds a Server from the config.
@@ -119,6 +124,7 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background()) //lint:allow ctxpropagate the drain context is rooted in the server's lifetime, not any request
 	if cfg.AccessLog != nil {
 		s.log = telemetry.NewLogger(cfg.AccessLog)
 		// Completed spans join the same NDJSON stream, so one file
@@ -155,8 +161,14 @@ func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 // Shutdown stops accepting connections and drains in-flight jobs,
 // waiting until they finish or ctx expires. In-flight job contexts
 // stay live during the drain: a request already computing completes
-// and its client gets the answer.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// and its client gets the answer. Once the drain ends — either way —
+// any coalesced flight still running is cancelled, so a detached
+// leader cannot keep computing past an over-budget shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.drainCancel()
+	return err
+}
 
 // statusWriter captures the response status for the access log and
 // the request span.
@@ -303,7 +315,7 @@ func (s *Server) runCoalesced(ctx context.Context, jr JobRequest, req engine.Req
 		res, runErr := engine.Run(ctx, req)
 		return res, false, runErr
 	}
-	return s.flights.run(ctx, key, req)
+	return s.flights.run(ctx, s.drainCtx, key, req)
 }
 
 // logJob writes the per-job NDJSON record: one line per job that

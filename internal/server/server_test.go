@@ -516,6 +516,104 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 }
 
+// TestAdmissionAccountingOnEarlyRejects pins the bookkeeping of
+// requests rejected before they reach the engine: malformed-JSON 400s
+// and oversized-body 413s must release their job slot (a leak would
+// wedge a MaxInFlight=1 server permanently) and be counted exactly
+// once each in server.requests and the request-latency histogram.
+// The sequence is saturate-reject-recover: early rejects, then a
+// blocking job that must still be admitted, a 429 while it runs, and
+// a final 200 after it drains — with every counter delta accounted.
+func TestAdmissionAccountingOnEarlyRejects(t *testing.T) {
+	m := &blockingSolver{started: make(chan struct{}), delay: 10 * time.Millisecond}
+	srv := New(Config{MaxInFlight: 1, MaxBody: 2048, Resolver: fakeResolver{m}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reg := telemetry.Default()
+	requestsBefore := reg.Counter(telemetry.KeyServerRequests).Value()
+	errorsBefore := reg.Counter(telemetry.KeyServerErrors).Value()
+	saturatedBefore := reg.Counter(telemetry.KeyServerSaturated).Value()
+	latencyBefore := reg.Histogram(telemetry.KeyServerRequestSeconds, telemetry.LatencyBuckets).Count()
+
+	do := func(body string) (int, error) {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	must := func(body string, want int) {
+		t.Helper()
+		code, err := do(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != want {
+			t.Fatalf("status %d, want %d", code, want)
+		}
+	}
+
+	// Early rejects: two malformed bodies and one over the body cap.
+	// Each acquires the job slot and must give it back on the way out.
+	must(`{"kind": `, http.StatusBadRequest)
+	must(`{"kind": `, http.StatusBadRequest)
+	must(`{"kind": "iv-point", "model": {}, "gates": [`+strings.Repeat("0.1,", 1024)+`0.1]}`,
+		http.StatusRequestEntityTooLarge)
+
+	// The single slot must still be free: this blocking sweep has to be
+	// admitted and start solving (a leaked slot would 429 it).
+	drains := make([]string, 40)
+	for i := range drains {
+		drains[i] = fmt.Sprintf("%g", 0.01*float64(i+1))
+	}
+	blockBody := `{"kind": "family-sweep", "model": {}, "gates": [0.5], "drains": [` +
+		strings.Join(drains, ",") + `], "strategy": "serial"}`
+	blockDone := make(chan error, 1)
+	go func() {
+		code, err := do(blockBody)
+		if err == nil && code != http.StatusOK {
+			err = fmt.Errorf("blocking job: status %d, want 200", code)
+		}
+		blockDone <- err
+	}()
+	<-m.started
+
+	// Saturated now — and sheds before reading the body, so even a
+	// malformed request answers 429, not 400.
+	must(`{"kind": `, http.StatusTooManyRequests)
+
+	if err := <-blockDone; err != nil {
+		t.Fatal(err)
+	}
+	// Recovered: the slot drained and a normal job is served again.
+	must(`{"kind": "iv-point", "model": {}, "vg": 0.5, "vd": 0.4}`, http.StatusOK)
+
+	// Exactly six requests passed: each counted once in server.requests
+	// and once in the latency histogram (no double counting), with four
+	// errors (2x400 + 413 + 429) and one saturation. The middleware
+	// observes latency just after the handler returns, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Histogram(telemetry.KeyServerRequestSeconds, telemetry.LatencyBuckets).Count()-latencyBefore < 6 &&
+		time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if d := reg.Counter(telemetry.KeyServerRequests).Value() - requestsBefore; d != 6 {
+		t.Fatalf("server.requests delta = %d, want 6", d)
+	}
+	if d := reg.Histogram(telemetry.KeyServerRequestSeconds, telemetry.LatencyBuckets).Count() - latencyBefore; d != 6 {
+		t.Fatalf("request_seconds count delta = %d, want 6", d)
+	}
+	if d := reg.Counter(telemetry.KeyServerErrors).Value() - errorsBefore; d != 4 {
+		t.Fatalf("server.errors delta = %d, want 4", d)
+	}
+	if d := reg.Counter(telemetry.KeyServerSaturated).Value() - saturatedBefore; d != 1 {
+		t.Fatalf("server.saturated delta = %d, want 1", d)
+	}
+}
+
 // TestTimeoutCancels checks the per-request deadline: a job slower
 // than the configured timeout is aborted with 499 and counted as
 // canceled.

@@ -144,6 +144,30 @@ const (
 	KeyServerSnapshotErrors = "server.snapshot.errors"
 )
 
+// Counter and gauge keys of the cluster router (internal/cluster +
+// cmd/cntshard): how jobs route across the rendezvous-hashed replica
+// ring, and per-replica health as active probes see it.
+const (
+	// KeyClusterRouteLocalHit counts jobs served by their home replica —
+	// the first replica in the key's rendezvous order.
+	KeyClusterRouteLocalHit = "cluster.route.local_hit"
+	// KeyClusterRouteFailover counts jobs served by a fallback replica
+	// because the home replica was down or kept failing.
+	KeyClusterRouteFailover = "cluster.route.failover"
+	// KeyClusterRouteRetries counts individual failed proxy attempts
+	// that moved on to the next replica in hash order (connect errors,
+	// 5xx and 429 responses).
+	KeyClusterRouteRetries = "cluster.route.retries"
+	// KeyClusterRouteErrors counts jobs the router could not serve from
+	// any replica (answered 502).
+	KeyClusterRouteErrors = "cluster.route.errors"
+	// KeyClusterProbes counts active health probes sent to replicas.
+	KeyClusterProbes = "cluster.probes"
+	// KeyClusterReplicaHealthyFmt is the per-replica health gauge
+	// pattern (1 = in rotation, 0 = out), taking the replica index.
+	KeyClusterReplicaHealthyFmt = "cluster.replica.%d.healthy"
+)
+
 // Counter and histogram keys of the engine job layer. The jobs
 // counter and the duration histogram are recorded once per engine.Run,
 // so the Prometheus exposition carries job-rate and job-latency series

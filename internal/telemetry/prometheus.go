@@ -5,6 +5,7 @@
 // /metrics.json for the CLIs). Mapping:
 //
 //   - counters  -> "cntfet_<name>_total" (TYPE counter)
+//   - gauges    -> "cntfet_<name>" (TYPE gauge)
 //   - timers    -> "cntfet_<name>_seconds" (TYPE summary: _sum/_count)
 //   - histograms-> "cntfet_<name>" (TYPE histogram: cumulative
 //     _bucket{le=...} series, _sum, _count)
@@ -90,6 +91,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# HELP %s Counter %q from the cntfet telemetry registry.\n", pn, n)
 		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
 		fmt.Fprintf(bw, "%s %d\n", pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(bw, "# HELP %s Gauge %q from the cntfet telemetry registry.\n", pn, n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Gauges[n])
 	}
 
 	names = names[:0]

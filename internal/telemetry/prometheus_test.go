@@ -13,6 +13,7 @@ import (
 func TestWritePrometheusRoundTrip(t *testing.T) {
 	r := NewRegistry(true)
 	r.Counter(KeySweepPoints).Add(5)
+	r.Gauge("cluster.replica.0.healthy").Set(1)
 	r.Timer(KeyFettoySolveTime).Observe(1500 * time.Microsecond)
 	h := r.Histogram(KeyServerRequestSeconds, LatencyBuckets)
 	h.Observe(0.0007)
@@ -30,6 +31,8 @@ func TestWritePrometheusRoundTrip(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE cntfet_sweep_points_total counter",
 		"cntfet_sweep_points_total 5",
+		"# TYPE cntfet_cluster_replica_0_healthy gauge",
+		"cntfet_cluster_replica_0_healthy 1",
 		"# TYPE cntfet_fettoy_solve_time_seconds summary",
 		"cntfet_fettoy_solve_time_seconds_count 1",
 		"# TYPE cntfet_server_request_seconds histogram",

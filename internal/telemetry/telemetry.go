@@ -54,6 +54,38 @@ func (c *Counter) Value() int64 {
 // reset zeroes the counter in place, keeping handles valid.
 func (c *Counter) reset() { c.v.Store(0) }
 
+// Gauge is an instantaneous level — replica health, queue depth,
+// in-flight occupancy — that moves both ways, unlike a Counter. The
+// zero value is ready to use; a nil Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n (negative n moves it down).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// reset zeroes the gauge in place, keeping handles valid.
+func (g *Gauge) reset() { g.v.Store(0) }
+
 // Timer accumulates durations of an operation. The zero value is ready
 // to use; a nil Timer ignores updates.
 type Timer struct {
@@ -183,6 +215,7 @@ type Registry struct {
 
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
 }
@@ -191,6 +224,7 @@ type Registry struct {
 func NewRegistry(enabled bool) *Registry {
 	r := &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
 		hists:    map[string]*Histogram{},
 	}
@@ -238,6 +272,23 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Timer returns the named timer, creating it on first use.
 func (r *Registry) Timer(name string) *Timer {
 	r.mu.RLock()
@@ -281,6 +332,9 @@ func (r *Registry) Reset() {
 	for _, c := range r.counters {
 		c.reset()
 	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
 	for _, t := range r.timers {
 		t.reset()
 	}
@@ -308,6 +362,7 @@ type HistStat struct {
 // with value zero are included, so the schema is stable across runs.
 type Snapshot struct {
 	Counters   map[string]int64     `json:"counters"`
+	Gauges     map[string]int64     `json:"gauges,omitempty"`
 	Timers     map[string]TimerStat `json:"timers,omitempty"`
 	Histograms map[string]HistStat  `json:"histograms,omitempty"`
 }
@@ -319,6 +374,12 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: map[string]int64{}}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = map[string]int64{}
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
 	}
 	if len(r.timers) > 0 {
 		s.Timers = map[string]TimerStat{}
@@ -360,6 +421,16 @@ func (r *Registry) WriteText(w io.Writer, prefix string) error {
 	sort.Strings(names)
 	for _, n := range names {
 		if _, err := fmt.Fprintf(w, "%s%s %d\n", prefix, n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", prefix, n, s.Gauges[n]); err != nil {
 			return err
 		}
 	}

@@ -29,18 +29,54 @@ func TestCounterTimerBasics(t *testing.T) {
 	}
 }
 
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry(true)
+	g := r.Gauge("replica.healthy")
+	g.Set(1)
+	g.Add(2)
+	g.Add(-3)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	g.Set(1)
+	if r.Gauge("replica.healthy") != g {
+		t.Fatal("get-or-create returned a different handle")
+	}
+	if got := r.Snapshot().Gauges["replica.healthy"]; got != 1 {
+		t.Fatalf("snapshot gauge = %d, want 1", got)
+	}
+	r.Reset()
+	if g.Value() != 0 {
+		t.Fatal("reset did not zero gauge")
+	}
+	g.Set(5)
+	if r.Gauge("replica.healthy").Value() != 5 {
+		t.Fatal("handle detached after reset")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf, "# "); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# replica.healthy 5") {
+		t.Fatalf("text export missing gauge:\n%s", buf.String())
+	}
+}
+
 func TestNilInstrumentsAreNoOps(t *testing.T) {
 	var c *Counter
+	var g *Gauge
 	var tm *Timer
 	var h *Histogram
 	var tr *Trace
 	c.Inc()
 	c.Add(3)
+	g.Set(2)
+	g.Add(1)
 	tm.Observe(time.Second)
 	tm.Start()()
 	h.Observe(1)
 	tr.Emit("x", 0)
-	if c.Value() != 0 || tm.Count() != 0 || h.Count() != 0 || tr.Len() != 0 || tr.Enabled() {
+	if c.Value() != 0 || g.Value() != 0 || tm.Count() != 0 || h.Count() != 0 || tr.Len() != 0 || tr.Enabled() {
 		t.Fatal("nil instruments must be inert")
 	}
 }
